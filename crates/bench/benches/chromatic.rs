@@ -1,0 +1,47 @@
+//! Criterion benches for E6/E7: chromatic and Potts per-node evaluation
+//! vs the sequential baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_core::CamelotProblem;
+use camelot_ff::{next_prime, PrimeField};
+use camelot_graph::{chromatic::chromatic_value_mod, gen, MultiGraph};
+use camelot_partition::{ChromaticValue, PottsValue};
+
+fn bench_chromatic(c: &mut Criterion) {
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    let mut group = c.benchmark_group("chromatic");
+    group.sample_size(10);
+    for &n in &[10usize, 14] {
+        let g = gen::gnm(n, 2 * n, n as u64);
+        group.bench_with_input(BenchmarkId::new("sequential_2^n", n), &n, |b, _| {
+            b.iter(|| chromatic_value_mod(&g, 3, &field));
+        });
+        let problem = ChromaticValue::new(g.clone(), 3);
+        let q = next_prime(problem.spec().min_modulus.max(1 << 20));
+        let pf = PrimeField::new(q).unwrap();
+        let ev = problem.evaluator(&pf);
+        group.bench_with_input(BenchmarkId::new("camelot_eval_2^n/2", n), &n, |b, _| {
+            b.iter(|| ev.eval(4242));
+        });
+    }
+    group.finish();
+}
+
+fn bench_potts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potts");
+    group.sample_size(10);
+    for &n in &[6usize, 9] {
+        let g = MultiGraph::from_graph(&gen::gnm(n, 2 * n, 3));
+        let problem = PottsValue::new(g, 3, 2);
+        let q = next_prime(problem.spec().min_modulus.max(1 << 20));
+        let pf = PrimeField::new(q).unwrap();
+        let ev = problem.evaluator(&pf);
+        group.bench_with_input(BenchmarkId::new("tripartite_eval", n), &n, |b, _| {
+            b.iter(|| ev.eval(777));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chromatic, bench_potts);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for E1/E2: the (6 2)-linear form evaluators and the
+//! per-node clique proof evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_cliques::{clique_chi, Form62};
+use camelot_ff::PrimeField;
+use camelot_graph::gen;
+use camelot_linalg::MatMulTensor;
+
+fn bench_form62(c: &mut Criterion) {
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    let tensor = MatMulTensor::strassen();
+    let mut group = c.benchmark_group("form62");
+    group.sample_size(10);
+    for &t_pow in &[2usize, 3] {
+        let n = 2usize.pow(t_pow as u32);
+        let g = gen::complete(n);
+        let chi = clique_chi(&g, 1, n);
+        let form = Form62::uniform(chi);
+        group.bench_with_input(BenchmarkId::new("nesetril_poljak", n), &n, |b, _| {
+            b.iter(|| form.eval_nesetril_poljak(&field).0);
+        });
+        group.bench_with_input(BenchmarkId::new("new_circuit", n), &n, |b, _| {
+            b.iter(|| form.eval_circuit(&field, &tensor, t_pow).0);
+        });
+        group.bench_with_input(BenchmarkId::new("proof_eval_one_point", n), &n, |b, _| {
+            b.iter(|| form.eval_proof_at(&field, &tensor, t_pow, 123_456));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_form62);
+criterion_main!(benches);

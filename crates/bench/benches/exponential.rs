@@ -1,0 +1,60 @@
+//! Criterion benches for E8/E9: per-node evaluation of the exponential
+//! designs vs their sequential baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_algebraic::{CnfFormula, CountCnfSat, Permanent, SetCovers};
+use camelot_core::CamelotProblem;
+use camelot_ff::{next_prime, PrimeField};
+
+fn bench_permanent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permanent");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        let p = Permanent::random(n, 2, n as u64);
+        group.bench_with_input(BenchmarkId::new("ryser_2^n", n), &n, |b, _| {
+            b.iter(|| p.reference_permanent());
+        });
+        let q = next_prime(p.spec().min_modulus.max(1 << 20));
+        let pf = PrimeField::new(q).unwrap();
+        let ev = p.evaluator(&pf);
+        group.bench_with_input(BenchmarkId::new("camelot_eval_2^n/2", n), &n, |b, _| {
+            b.iter(|| ev.eval(31337));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnfsat");
+    group.sample_size(10);
+    for &v in &[10usize, 12] {
+        let formula = CnfFormula::random_ksat(v, 3 * v / 2, 3, v as u64);
+        let problem = CountCnfSat::new(formula);
+        let q = next_prime(problem.spec().min_modulus.max(1 << 20));
+        let pf = PrimeField::new(q).unwrap();
+        let ev = problem.evaluator(&pf);
+        group.bench_with_input(BenchmarkId::new("camelot_eval", v), &v, |b, _| {
+            b.iter(|| ev.eval(5555));
+        });
+    }
+    group.finish();
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover");
+    group.sample_size(10);
+    for &n in &[10usize, 12] {
+        let family: Vec<u64> = (0..n as u64).map(|i| (0b1011 << i) & ((1 << n) - 1)).collect();
+        let problem = SetCovers::new(n, family, 3);
+        let q = next_prime(problem.spec().min_modulus.max(1 << 20));
+        let pf = PrimeField::new(q).unwrap();
+        let ev = problem.evaluator(&pf);
+        group.bench_with_input(BenchmarkId::new("camelot_eval", n), &n, |b, _| {
+            b.iter(|| ev.eval(919));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_permanent, bench_cnf, bench_setcover);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benches for the framework substrates: field arithmetic,
+//! Reed–Solomon encode/decode (the per-node §1.3 costs), and Yates
+//! transforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_ff::{PrimeField, RngLike, SplitMix64};
+use camelot_linalg::{yates, SmallMatrix};
+use camelot_poly::Poly;
+use camelot_rscode::RsCode;
+
+fn bench_rscode(c: &mut Criterion) {
+    let field = PrimeField::new(1_048_583).unwrap();
+    let mut rng = SplitMix64::new(1);
+    let mut group = c.benchmark_group("rscode");
+    group.sample_size(10);
+    for &(d, e) in &[(64usize, 96usize), (256, 384)] {
+        let msg = Poly::from_reduced((0..=d).map(|_| rng.next_u64() % field.modulus()).collect());
+        let code = RsCode::consecutive(&field, e);
+        let clean = code.encode(&field, &msg);
+        group.bench_with_input(BenchmarkId::new("encode", e), &e, |b, _| {
+            b.iter(|| code.encode(&field, &msg));
+        });
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        for pos in 0..(e - d - 1) / 2 {
+            word[pos * 2] = Some(field.add(clean[pos * 2], 1));
+        }
+        group.bench_with_input(BenchmarkId::new("gao_decode_max_errors", e), &e, |b, _| {
+            b.iter(|| code.decode(&field, &word, d).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_yates(c: &mut Criterion) {
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    let mut rng = SplitMix64::new(2);
+    let zeta = SmallMatrix::new(2, 2, vec![1, 0, 1, 1]);
+    let mut group = c.benchmark_group("yates");
+    group.sample_size(10);
+    for &k in &[10usize, 14, 16] {
+        let x: Vec<u64> = (0..1usize << k).map(|_| rng.next_u64() % 1000).collect();
+        group.bench_with_input(BenchmarkId::new("zeta_2^k", k), &k, |b, _| {
+            b.iter(|| yates(&field, &zeta, k, &x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_field(c: &mut Criterion) {
+    let field = PrimeField::new((1 << 61) - 1).unwrap();
+    let mut rng = SplitMix64::new(3);
+    let xs: Vec<u64> = (0..1024).map(|_| field.sample(&mut rng)).collect();
+    c.bench_function("field/1024_mul_add_chain", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = field.mul_add(acc, x, x);
+            }
+            acc
+        });
+    });
+    c.bench_function("field/batch_inverse_1024", |b| {
+        b.iter(|| {
+            let mut v = xs.clone();
+            field.inv_batch(&mut v);
+            v[0]
+        });
+    });
+}
+
+criterion_group!(benches, bench_rscode, bench_yates, bench_field);
+criterion_main!(benches);

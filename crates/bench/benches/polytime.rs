@@ -1,0 +1,41 @@
+//! Criterion benches for E10/E11: per-node evaluation of the
+//! polynomial-time designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_algebraic::{BoolMatrix, Convolution3Sum, HammingDistribution, OrthogonalVectors};
+use camelot_core::CamelotProblem;
+use camelot_csp::{Csp2, CspWeightValue};
+use camelot_ff::{next_prime, PrimeField};
+
+fn bench_eval<P: CamelotProblem>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, size: usize, problem: &P) {
+    let q = next_prime(problem.spec().min_modulus.max(1 << 20));
+    let pf = PrimeField::new(q).unwrap();
+    let ev = problem.evaluator(&pf);
+    group.bench_with_input(BenchmarkId::new(name, size), &size, |b, _| {
+        b.iter(|| ev.eval(424_242));
+    });
+}
+
+fn bench_polytime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polytime_eval");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let a = BoolMatrix::random(n, 8, 40, 1);
+        let b = BoolMatrix::random(n, 8, 40, 2);
+        bench_eval(&mut group, "ov", n, &OrthogonalVectors::new(a, b));
+    }
+    for &n in &[8usize, 16] {
+        let a = BoolMatrix::random(n, 6, 50, 3);
+        let b = BoolMatrix::random(n, 6, 50, 4);
+        bench_eval(&mut group, "hamming", n, &HammingDistribution::new(a, b));
+        bench_eval(&mut group, "conv3sum", n, &Convolution3Sum::random(n, 4, 5));
+    }
+    for &sigma in &[2usize, 3] {
+        let csp = Csp2::random(6, sigma, 4, 50, 9);
+        bench_eval(&mut group, "csp_weight", sigma, &CspWeightValue::new(csp, 2));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_polytime);
+criterion_main!(benches);

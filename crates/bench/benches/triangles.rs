@@ -1,0 +1,57 @@
+//! Criterion benches for E3–E5: split/sparse parts, proof evaluation,
+//! and the AYZ counter across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_core::CamelotProblem;
+use camelot_ff::{next_prime, PrimeField};
+use camelot_graph::gen;
+use camelot_linalg::MatMulTensor;
+use camelot_triangles::{count_triangles_ayz, Family, TriangleCount, TriangleSplit};
+
+fn bench_parts(c: &mut Criterion) {
+    let tensor = MatMulTensor::strassen();
+    let mut group = c.benchmark_group("triangle_parts");
+    group.sample_size(10);
+    for &m in &[60usize, 240] {
+        let g = gen::gnm(32, m, 4);
+        let split = TriangleSplit::new(&g, &tensor);
+        let q = next_prime(((split.padded_size() as u64).pow(3) + 1).max(1 << 20));
+        let field = PrimeField::new(q).unwrap();
+        group.bench_with_input(BenchmarkId::new("one_part", m), &m, |b, _| {
+            b.iter(|| split.family_part(&field, Family::Alpha, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_proof_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_proof");
+    group.sample_size(10);
+    for &m in &[60usize, 240] {
+        let g = gen::gnm(32, m, 4);
+        let problem = TriangleCount::new(&g);
+        let q = problem.spec().min_modulus;
+        let field = PrimeField::new(next_prime(q)).unwrap();
+        let ev = problem.evaluator(&field);
+        group.bench_with_input(BenchmarkId::new("eval_one_point", m), &m, |b, _| {
+            b.iter(|| ev.eval(98_765));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ayz(c: &mut Criterion) {
+    let tensor = MatMulTensor::strassen();
+    let mut group = c.benchmark_group("ayz");
+    group.sample_size(10);
+    for &m in &[100usize, 300] {
+        let g = gen::gnm(32, m, 5);
+        group.bench_with_input(BenchmarkId::new("count", m), &m, |b, _| {
+            b.iter(|| count_triangles_ayz(&g, &tensor).triangles);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parts, bench_proof_eval, bench_ayz);
+criterion_main!(benches);

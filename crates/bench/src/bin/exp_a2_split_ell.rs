@@ -1,0 +1,62 @@
+//! Ablation A2 — the split/sparse inner-digit parameter ℓ (§3.2).
+//!
+//! The paper picks `ℓ = ⌈log_t |D|⌉` so each part holds at least the
+//! input. This sweep shows why: smaller ℓ explodes the part count (more
+//! parallelism but each part re-reads the whole input — total work
+//! blows up); larger ℓ kills parallelism and inflates per-part space.
+
+use camelot_bench::{fmt_duration, time, Table};
+use camelot_ff::{next_prime, PrimeField};
+use camelot_graph::{count_triangles, gen};
+use camelot_linalg::{MatMulTensor, SplitSparseYates};
+use camelot_triangles::adjacency_sparse;
+
+fn main() {
+    let tensor = MatMulTensor::strassen();
+    let g = gen::gnm(16, 40, 11);
+    let expect = count_triangles(&g);
+    let t_pow = 4usize; // n padded to 16 = 2^4, R = 7^4 = 2401
+    let sparse = adjacency_sparse(&g, 2, t_pow);
+    let q = next_prime((16u64.pow(3) + 1).max(1 << 20));
+    let field = PrimeField::new(q).unwrap();
+    let a0 = tensor.alpha0().transpose();
+    let paper_ell = SplitSparseYates::with_support_size(a0.clone(), t_pow, sparse.len()).ell();
+    let mut table = Table::new(&[
+        "ell",
+        "parts",
+        "part len",
+        "total outputs",
+        "all-parts time",
+        "paper's choice",
+    ]);
+    for ell in 0..=t_pow {
+        let mk = |m: camelot_linalg::SmallMatrix| SplitSparseYates::new(m, t_pow, ell);
+        let sa = mk(tensor.alpha0().transpose());
+        let sb = mk(tensor.beta0().transpose());
+        let sc = mk(tensor.gamma0().transpose());
+        let (trace, t_all) = time(|| {
+            let mut acc = 0u64;
+            for outer in 0..sa.part_count() {
+                let a = sa.part(&field, &sparse, outer);
+                let b = sb.part(&field, &sparse, outer);
+                let c = sc.part(&field, &sparse, outer);
+                for i in 0..a.len() {
+                    acc = field.add(acc, field.mul(field.mul(a[i], b[i]), c[i]));
+                }
+            }
+            acc
+        });
+        assert_eq!(trace / 6, expect, "ell = {ell}");
+        table.row(&[
+            ell.to_string(),
+            sa.part_count().to_string(),
+            sa.part_len().to_string(),
+            (sa.part_count() * sa.part_len()).to_string(),
+            fmt_duration(t_all),
+            (ell == paper_ell).to_string(),
+        ]);
+    }
+    table.print("A2: sweeping the split parameter ℓ (triangles, n=16, m=40)");
+    println!("paper's ℓ = ceil(log_7 |D|) balances per-part work against the");
+    println!("redundant |D|-scan every part performs.");
+}

@@ -1,0 +1,40 @@
+//! Experiment E11 — Theorem 12: 2-CSP assignment enumeration by number
+//! of satisfied constraints at `O*(σ^{(ω+ε)n/6})`.
+
+use camelot_bench::{fmt_duration, time, Table};
+use camelot_core::{CamelotProblem, Engine};
+use camelot_csp::{enumerate_by_satisfied, Csp2, CspWeightValue};
+
+fn main() {
+    let engine = Engine::sequential(6, 3);
+    let mut table = Table::new(&[
+        "n",
+        "sigma",
+        "m",
+        "sigma^{n/6} (N)",
+        "proof size d/run",
+        "runs (m+1)",
+        "time",
+        "verified",
+    ]);
+    for (n, sigma, m) in [(6usize, 2usize, 4usize), (6, 3, 4), (6, 4, 3), (12, 2, 4)] {
+        let csp = Csp2::random(n, sigma, m, 50, (n * sigma) as u64);
+        let expect = csp.reference_histogram();
+        let spec = CspWeightValue::new(csp.clone(), 1).spec();
+        let (hist, t) = time(|| enumerate_by_satisfied(&csp, &engine).unwrap());
+        let ok = hist.iter().map(|v| v.to_u64().unwrap()).collect::<Vec<_>>() == expect;
+        table.row(&[
+            n.to_string(),
+            sigma.to_string(),
+            m.to_string(),
+            sigma.pow((n / 6) as u32).to_string(),
+            spec.degree_bound.to_string(),
+            (m + 1).to_string(),
+            fmt_duration(t),
+            ok.to_string(),
+        ]);
+    }
+    table.print("E11: 2-CSP enumeration by satisfied count (Theorem 12)");
+    println!("paper claim: proof size O*(sigma^(2.81 n/6)) per weight point;");
+    println!("trivial sequential is sigma^n, best known sigma^(2.81 n/3).");
+}

@@ -1,0 +1,44 @@
+//! Experiment E2/E12 — Theorem 2/13: the new `(6 2)` circuit cuts space
+//! from `O(N⁴)` to `O(N²)` at the same operation-count exponent.
+//!
+//! We report the peak live field elements of both evaluators on growing
+//! `N`, and their wall-times (the shapes, not absolute constants, are
+//! what the theorem predicts).
+
+use camelot_bench::{fmt_duration, time, Table};
+use camelot_cliques::Form62;
+use camelot_ff::{PrimeField, RngLike, SplitMix64};
+use camelot_linalg::{MatMulTensor, Matrix};
+
+fn main() {
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    let tensor = MatMulTensor::strassen();
+    let mut rng = SplitMix64::new(1);
+    let mut table = Table::new(&[
+        "N",
+        "NP space (elems)",
+        "circuit space",
+        "ratio",
+        "NP time",
+        "circuit time",
+    ]);
+    for t_pow in [1usize, 2, 3] {
+        let n = 2usize.pow(t_pow as u32);
+        let chi = Matrix::from_fn(n, n, |_, _| rng.next_u64() % 3);
+        let form = Form62::uniform(chi);
+        let ((v_np, s_np), t_np) = time(|| form.eval_nesetril_poljak(&field));
+        let ((v_c, s_c), t_c) = time(|| form.eval_circuit(&field, &tensor, t_pow));
+        assert_eq!(v_np, v_c, "evaluators must agree");
+        table.row(&[
+            n.to_string(),
+            s_np.peak_field_elements.to_string(),
+            s_c.peak_field_elements.to_string(),
+            format!("{:.1}x", s_np.peak_field_elements as f64 / s_c.peak_field_elements as f64),
+            fmt_duration(t_np),
+            fmt_duration(t_c),
+        ]);
+    }
+    table.print("E2/E12: (6 2)-form space, Nešetřil–Poljak vs the new circuit");
+    println!("paper claim: space O(N^4) vs O(N^2) at matching operation exponent;");
+    println!("the ratio must grow as N^2 (4x per doubling of N).");
+}

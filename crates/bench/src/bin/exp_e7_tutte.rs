@@ -1,0 +1,62 @@
+//! Experiment E7 — Theorem 7: the Tutte polynomial with proof size
+//! `O*(2^{n/3})`, per-node time `O*(2^{(ω+ε)n/3})`, space `O*(2^{2n/3})`.
+//!
+//! We compute full Tutte polynomials through the Potts grid and validate
+//! against deletion–contraction, reporting the proof geometry.
+
+use camelot_bench::{fmt_duration, time, Table};
+use camelot_core::{CamelotProblem, Engine};
+use camelot_graph::{gen, tutte::tutte_coefficients, MultiGraph};
+use camelot_partition::{eval_tutte, tutte_polynomial, PottsValue};
+
+fn main() {
+    let engine = Engine::sequential(4, 2);
+    let mut table = Table::new(&[
+        "graph",
+        "n",
+        "m",
+        "|B|=n/3",
+        "proof size d",
+        "grid runs",
+        "time",
+        "matches del-con",
+    ]);
+    for (name, g) in [
+        ("K4", MultiGraph::from_graph(&gen::complete(4))),
+        ("C6", MultiGraph::from_graph(&gen::cycle(6))),
+        ("K4+loop", MultiGraph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3),(0,0)])),
+        ("2xC3", MultiGraph::from_edges(6, [(0,1),(1,2),(2,0),(3,4),(4,5),(5,3)])),
+    ] {
+        let (n, m) = (g.vertex_count(), g.edge_count());
+        let spec = PottsValue::new(g.clone(), 2, 1).spec();
+        let (outcome, t) = time(|| tutte_polynomial(&g, &engine).unwrap());
+        let reference = tutte_coefficients(&g);
+        let mut ok = true;
+        for (i, row) in reference.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                let got = outcome
+                    .coefficients
+                    .get(i)
+                    .and_then(|r| r.get(j))
+                    .map(|v| v.to_i128())
+                    .unwrap_or(Some(0));
+                ok &= got == Some(i128::try_from(c).unwrap());
+            }
+        }
+        // Spot identity: T(2,2) = 2^m.
+        ok &= eval_tutte(&outcome.coefficients, 2, 2).to_i128() == Some(1i128 << m);
+        table.row(&[
+            name.to_string(),
+            n.to_string(),
+            m.to_string(),
+            (n / 3).max(1).to_string(),
+            spec.degree_bound.to_string(),
+            ((n + 1) * (m + 1)).to_string(),
+            fmt_duration(t),
+            ok.to_string(),
+        ]);
+    }
+    table.print("E7: full Tutte polynomials via the Potts grid");
+    println!("paper claim: proof size O*(2^(n/3)); per-node time O*(2^(2.81 n/3))");
+    println!("via the tripartite decomposition; K <= T^(1/3) parallelism only.");
+}

@@ -1,0 +1,80 @@
+//! # camelot-bench — experiment harness
+//!
+//! Shared plumbing for the experiment binaries (`exp_e1_cliques` …
+//! `exp_f3_tradeoff`) that regenerate the paper's per-theorem claims, and
+//! for the criterion benches. See `EXPERIMENTS.md` at the repository root
+//! for the experiment index and recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// A plain-text results table matching the paper-reproduction reports.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", joined.join("  "));
+        };
+        line(&self.headers);
+        println!("  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a `Duration` in adaptive units.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}

@@ -1,0 +1,415 @@
+//! The Camelot engine: distributed proof preparation, error correction,
+//! and checking (§1.3 of the paper, steps 1–3).
+//!
+//! One [`Engine::run`] call executes the whole pipeline for a problem:
+//!
+//! 1. derive the proof parameters and the prime moduli from the spec
+//!    (every node could do this independently from the common input);
+//! 2. for each prime, have the simulated cluster evaluate
+//!    `P(0), …, P(e-1) (mod q)` with faults injected per the plan;
+//! 3. have every honest node Gao-decode its received word, recovering the
+//!    proof *and the identities of the failed nodes*;
+//! 4. spot-check the decoded proof against fresh evaluations of `P` at
+//!    random points (identity (2) of the paper);
+//! 5. reconstruct the integer answer by the Chinese Remainder Theorem.
+
+use crate::error::CamelotError;
+use crate::problem::{CamelotProblem, PrimeProof, ProofSpec};
+use camelot_cluster::{run_round, ClusterConfig, FaultPlan};
+use camelot_ff::{primes_above, PrimeField, SplitMix64};
+use camelot_rscode::RsCode;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Engine configuration for one run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The simulated cluster (node count, threading).
+    pub cluster: ClusterConfig,
+    /// Fault budget `f`: the code length is `e = d + 1 + 2f`, so up to
+    /// `f` corrupted symbols (or any mix of errors and twice as many
+    /// erasures) are tolerated.
+    pub fault_tolerance: usize,
+    /// Behaviour assignment; `None` means all honest.
+    pub plan: Option<FaultPlan>,
+    /// Decode at every honest node and require agreement (the collective
+    /// conclusion of footnote 7); otherwise only the lowest-indexed
+    /// honest node decodes.
+    pub decode_at_all_nodes: bool,
+    /// Number of random spot checks per prime proof.
+    pub verification_trials: usize,
+    /// Seed for verification randomness.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A quiet sequential cluster of `nodes` nodes with fault budget `f`.
+    #[must_use]
+    pub fn sequential(nodes: usize, fault_tolerance: usize) -> Self {
+        EngineConfig {
+            cluster: ClusterConfig::sequential(nodes),
+            fault_tolerance,
+            plan: None,
+            decode_at_all_nodes: false,
+            verification_trials: 2,
+            seed: 0xCA11_0C_A11E,
+        }
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Requires decoding (and agreement) at every honest node.
+    #[must_use]
+    pub fn with_full_decoding(mut self) -> Self {
+        self.decode_at_all_nodes = true;
+        self
+    }
+}
+
+/// The static, independently verifiable artefact of a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// One decoded proof per prime modulus.
+    pub proofs: Vec<PrimeProof>,
+    /// Code length `e` used for each prime round.
+    pub code_length: usize,
+    /// Degree bound `d` the proofs were decoded against.
+    pub degree_bound: usize,
+    /// Nodes whose broadcast symbols disagreed with the decoded codeword
+    /// (byzantine corruption, identified via the error locations).
+    pub identified_faulty_nodes: Vec<usize>,
+    /// Nodes that contributed nothing (crashes; identified via erasures).
+    pub crashed_nodes: Vec<usize>,
+}
+
+impl Certificate {
+    /// Proof size: total number of field-element coefficients across all
+    /// prime proofs (the paper's `K`-comparable quantity).
+    #[must_use]
+    pub fn proof_size(&self) -> usize {
+        self.proofs.iter().map(|p| p.coefficients.len()).sum()
+    }
+}
+
+/// Work accounting for a run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Prime moduli used.
+    pub primes: Vec<u64>,
+    /// Code length per prime.
+    pub code_length: usize,
+    /// Total `P`-evaluations across nodes and primes.
+    pub total_evaluations: usize,
+    /// Maximum per-node evaluation count (per prime, summed over primes)
+    /// — the wall-clock-critical path, the paper's `E`.
+    pub max_node_evaluations: usize,
+    /// Spot-check evaluations spent on verification.
+    pub verification_evaluations: usize,
+    /// Wall-clock time of the busiest node, summed over primes.
+    pub critical_path: Duration,
+}
+
+/// Result of a successful run.
+#[derive(Clone, Debug)]
+pub struct CamelotOutcome<T> {
+    /// The recovered answer.
+    pub output: T,
+    /// The static proof and fault findings.
+    pub certificate: Certificate,
+    /// Work accounting.
+    pub report: RunReport,
+}
+
+/// Derives the code length `e = d + 1 + 2f`.
+#[must_use]
+pub fn code_length(spec: &ProofSpec, fault_tolerance: usize) -> usize {
+    spec.degree_bound + 1 + 2 * fault_tolerance
+}
+
+/// Deterministically selects prime moduli for a spec: all primes are at
+/// least `max(min_modulus, e + 1)` and their product exceeds
+/// `2^(value_bits + 1)` (one guard bit for symmetric signed lifts).
+#[must_use]
+pub fn choose_primes(spec: &ProofSpec, code_len: usize) -> Vec<u64> {
+    let floor = spec.min_modulus.max(code_len as u64 + 1).max(1 << 20);
+    let mut primes = Vec::new();
+    let mut bits_covered = 0u64;
+    let mut cursor = floor;
+    while bits_covered <= spec.value_bits + 1 {
+        let batch = primes_above(cursor, 1);
+        let p = batch[0];
+        bits_covered += 63 - u64::from(p.leading_zeros());
+        cursor = p + 1;
+        primes.push(p);
+    }
+    primes
+}
+
+/// The Camelot engine.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Convenience: sequential engine with `nodes` nodes and fault budget
+    /// `f`.
+    #[must_use]
+    pub fn sequential(nodes: usize, fault_tolerance: usize) -> Self {
+        Engine::new(EngineConfig::sequential(nodes, fault_tolerance))
+    }
+
+    /// Runs the full prepare → correct → check → recover pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamelotError::BadConfiguration`] for impossible parameters;
+    /// * [`CamelotError::DecodeFailed`] / [`CamelotError::DecodeDisagreement`]
+    ///   when the fault plan exceeds the decoding radius;
+    /// * [`CamelotError::VerificationFailed`] if a spot check rejects;
+    /// * recovery errors from the problem itself.
+    pub fn run<P: CamelotProblem>(&self, problem: &P) -> Result<CamelotOutcome<P::Output>, CamelotError> {
+        let spec = problem.spec();
+        let e = code_length(&spec, self.config.fault_tolerance);
+        let plan = self
+            .config
+            .plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::all_honest(self.config.cluster.nodes));
+        if plan.nodes() != self.config.cluster.nodes {
+            return Err(CamelotError::BadConfiguration {
+                reason: format!(
+                    "fault plan covers {} nodes, cluster has {}",
+                    plan.nodes(),
+                    self.config.cluster.nodes
+                ),
+            });
+        }
+        let primes = choose_primes(&spec, e);
+        if primes.iter().any(|&q| (e as u64) > q) {
+            return Err(CamelotError::BadConfiguration {
+                reason: format!("code length {e} exceeds a modulus"),
+            });
+        }
+
+        let honest: Vec<usize> = (0..plan.nodes()).filter(|&n| !plan.kind(n).is_faulty()).collect();
+        if honest.is_empty() {
+            return Err(CamelotError::BadConfiguration {
+                reason: "no honest node left to decode".into(),
+            });
+        }
+
+        let mut report = RunReport {
+            nodes: self.config.cluster.nodes,
+            primes: primes.clone(),
+            code_length: e,
+            ..RunReport::default()
+        };
+        let mut proofs = Vec::with_capacity(primes.len());
+        let mut faulty: BTreeSet<usize> = BTreeSet::new();
+        let mut crashed: BTreeSet<usize> = BTreeSet::new();
+        let points: Vec<u64> = (0..e as u64).collect();
+
+        for &q in &primes {
+            let field = PrimeField::new_unchecked(q);
+            let evaluator = problem.evaluator(&field);
+            let broadcast = run_round(&self.config.cluster, &field, &points, &plan, |x| {
+                evaluator.eval(x)
+            });
+            report.total_evaluations += broadcast.total_evaluations();
+            report.max_node_evaluations += broadcast.max_node_evaluations();
+            report.critical_path += broadcast
+                .stats
+                .iter()
+                .map(|s| s.elapsed)
+                .max()
+                .unwrap_or_default();
+
+            // Every deciding node runs the Gao decoder on its own view.
+            let code = RsCode::consecutive(&field, e);
+            let deciders: &[usize] =
+                if self.config.decode_at_all_nodes { &honest } else { &honest[..1] };
+            let mut agreed: Option<PrimeProof> = None;
+            for &node in deciders {
+                let view = broadcast.view_for(node);
+                let decoded = code
+                    .decode(&field, &view, spec.degree_bound)
+                    .map_err(|source| CamelotError::DecodeFailed { modulus: q, node, source })?;
+                for &pos in &decoded.error_positions {
+                    faulty.insert(broadcast.assignment[pos]);
+                }
+                for &pos in &decoded.erasure_positions {
+                    crashed.insert(broadcast.assignment[pos]);
+                }
+                let proof = PrimeProof { modulus: q, coefficients: decoded.poly.into_coeffs() };
+                match &agreed {
+                    None => agreed = Some(proof),
+                    Some(prev) if *prev != proof => {
+                        return Err(CamelotError::DecodeDisagreement { modulus: q })
+                    }
+                    Some(_) => {}
+                }
+            }
+            let proof = agreed.expect("at least one decider ran");
+
+            // Spot-check verification (§1.3 step 3): random x0, compare
+            // a fresh evaluation of P against Horner on the coefficients.
+            let mut rng = SplitMix64::new(self.config.seed ^ q);
+            for _ in 0..self.config.verification_trials {
+                let x0 = field.sample(&mut rng);
+                report.verification_evaluations += 1;
+                if evaluator.eval(x0) != proof.eval(x0) {
+                    return Err(CamelotError::VerificationFailed { modulus: q });
+                }
+            }
+            proofs.push(proof);
+        }
+
+        let certificate = Certificate {
+            proofs: proofs.clone(),
+            code_length: e,
+            degree_bound: spec.degree_bound,
+            identified_faulty_nodes: faulty.into_iter().collect(),
+            crashed_nodes: crashed.into_iter().collect(),
+        };
+        let output = problem.recover(&proofs)?;
+        Ok(CamelotOutcome { output, certificate, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluate;
+    use camelot_cluster::FaultKind;
+    use camelot_ff::{crt_u, Residue};
+
+    /// Toy problem: P(x) = (c + x)^3 mod q for a hidden constant c; the
+    /// "answer" is P(0) = c^3 recovered over the integers.
+    struct Cube {
+        c: u64,
+    }
+
+    impl CamelotProblem for Cube {
+        type Output = u128;
+
+        fn spec(&self) -> ProofSpec {
+            ProofSpec::new(3, 1 << 20, 96)
+        }
+
+        fn evaluator<'a>(&'a self, field: &PrimeField) -> Box<dyn Evaluate + 'a> {
+            let f = *field;
+            let c = f.reduce(self.c);
+            Box::new(move |x: u64| {
+                let s = f.add(c, f.reduce(x));
+                f.mul(f.mul(s, s), s)
+            })
+        }
+
+        fn recover(&self, proofs: &[PrimeProof]) -> Result<u128, CamelotError> {
+            let residues: Vec<Residue> = proofs
+                .iter()
+                .map(|p| Residue { modulus: p.modulus, value: p.eval(0) })
+                .collect();
+            crt_u(&residues).to_u128().ok_or_else(|| CamelotError::RecoveryFailed {
+                reason: "value exceeded u128".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn clean_run_recovers_answer() {
+        let problem = Cube { c: 1 << 30 };
+        let outcome = Engine::sequential(4, 3).run(&problem).unwrap();
+        assert_eq!(outcome.output, 1u128 << 90);
+        assert!(outcome.certificate.identified_faulty_nodes.is_empty());
+        assert!(outcome.certificate.crashed_nodes.is_empty());
+        assert_eq!(outcome.certificate.code_length, 3 + 1 + 6);
+        // 96-bit value needs multiple ~20+-bit primes; at least 2.
+        assert!(outcome.report.primes.len() >= 2);
+    }
+
+    #[test]
+    fn byzantine_nodes_are_identified_and_tolerated() {
+        let problem = Cube { c: 12345 };
+        let plan = FaultPlan::with_faults(
+            10,
+            &[(2, FaultKind::Corrupt { seed: 1 }), (7, FaultKind::Crash)],
+        );
+        let config = EngineConfig::sequential(10, 4).with_plan(plan).with_full_decoding();
+        let outcome = Engine::new(config).run(&problem).unwrap();
+        assert_eq!(outcome.output, 12345u128.pow(3));
+        assert_eq!(outcome.certificate.identified_faulty_nodes, vec![2]);
+        assert_eq!(outcome.certificate.crashed_nodes, vec![7]);
+    }
+
+    #[test]
+    fn too_many_faults_fail_decoding() {
+        let problem = Cube { c: 5 };
+        // e = 4 + 2: radius (6-4)/2 = 1 error; corrupt 5 of 6 nodes'
+        // slices (each node owns one point).
+        let plan = FaultPlan::random_corrupt(6, 5, 3);
+        let config = EngineConfig::sequential(6, 1).with_plan(plan);
+        let err = Engine::new(config).run(&problem).unwrap_err();
+        match err {
+            CamelotError::DecodeFailed { .. } | CamelotError::VerificationFailed { .. } => {}
+            other => panic!("expected decode/verification failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn equivocating_node_cannot_split_honest_consensus() {
+        let problem = Cube { c: 999 };
+        let plan = FaultPlan::with_faults(8, &[(3, FaultKind::Equivocate { seed: 9 })]);
+        let config = EngineConfig::sequential(8, 2).with_plan(plan).with_full_decoding();
+        let outcome = Engine::new(config).run(&problem).unwrap();
+        assert_eq!(outcome.output, 999u128.pow(3));
+        // Every honest node sees node 3's (different) lies as errors.
+        assert_eq!(outcome.certificate.identified_faulty_nodes, vec![3]);
+    }
+
+    #[test]
+    fn plan_size_mismatch_is_rejected() {
+        let problem = Cube { c: 1 };
+        let config = EngineConfig::sequential(4, 1).with_plan(FaultPlan::all_honest(5));
+        assert!(matches!(
+            Engine::new(config).run(&problem),
+            Err(CamelotError::BadConfiguration { .. })
+        ));
+    }
+
+    #[test]
+    fn report_accounts_for_all_work() {
+        let problem = Cube { c: 2 };
+        let outcome = Engine::sequential(5, 2).run(&problem).unwrap();
+        let e = outcome.report.code_length;
+        let primes = outcome.report.primes.len();
+        assert_eq!(outcome.report.total_evaluations, e * primes);
+        assert_eq!(outcome.report.verification_evaluations, 2 * primes);
+        assert!(outcome.report.max_node_evaluations >= e.div_ceil(5) * primes);
+    }
+
+    #[test]
+    fn choose_primes_respects_floor_and_bits() {
+        let spec = ProofSpec::new(10, 1 << 30, 200);
+        let primes = choose_primes(&spec, 100);
+        assert!(primes.iter().all(|&q| q > 1 << 30));
+        let bits: u64 = primes.iter().map(|q| 63 - u64::from(q.leading_zeros())).sum();
+        assert!(bits > 201);
+        // Deterministic.
+        assert_eq!(primes, choose_primes(&spec, 100));
+    }
+}

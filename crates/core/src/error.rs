@@ -1,0 +1,68 @@
+//! Framework error type.
+
+use camelot_rscode::DecodeError;
+
+/// Errors surfaced by the Camelot engine and verifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CamelotError {
+    /// Reed–Solomon decoding failed at some node (too many byzantine
+    /// symbols for the configured redundancy).
+    DecodeFailed {
+        /// The prime modulus whose round failed.
+        modulus: u64,
+        /// The node that could not decode.
+        node: usize,
+        /// The underlying decoder error.
+        source: DecodeError,
+    },
+    /// Honest nodes decoded different proofs — only possible beyond the
+    /// unique-decoding radius.
+    DecodeDisagreement {
+        /// The prime modulus whose round disagreed.
+        modulus: u64,
+    },
+    /// The spot-check verifier rejected a proof.
+    VerificationFailed {
+        /// The prime modulus whose proof was rejected.
+        modulus: u64,
+    },
+    /// A proof had an impossible shape (degree above the bound, missing
+    /// modulus, …).
+    MalformedProof {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Problem-specific recovery failed (e.g. a count did not fit the
+    /// promised bound).
+    RecoveryFailed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The requested configuration is outside the framework's envelope
+    /// (`e > q`, zero nodes, fault budget beyond the decoding radius, …).
+    BadConfiguration {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CamelotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CamelotError::DecodeFailed { modulus, node, source } => {
+                write!(f, "node {node} failed to decode the proof mod {modulus}: {source}")
+            }
+            CamelotError::DecodeDisagreement { modulus } => {
+                write!(f, "honest nodes decoded different proofs mod {modulus}")
+            }
+            CamelotError::VerificationFailed { modulus } => {
+                write!(f, "spot-check verification rejected the proof mod {modulus}")
+            }
+            CamelotError::MalformedProof { reason } => write!(f, "malformed proof: {reason}"),
+            CamelotError::RecoveryFailed { reason } => write!(f, "recovery failed: {reason}"),
+            CamelotError::BadConfiguration { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CamelotError {}

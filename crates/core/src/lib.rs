@@ -1,0 +1,35 @@
+//! # camelot-core — the Camelot framework
+//!
+//! The primary contribution of *“How Proofs are Prepared at Camelot”*
+//! (Björklund–Kaski, PODC 2016), as a reusable engine:
+//!
+//! * a problem is a proof polynomial `P(x) mod q` plus a fast evaluation
+//!   algorithm ([`CamelotProblem`] / [`Evaluate`]);
+//! * proof preparation is distributed Reed–Solomon encoding: `K` nodes
+//!   jointly evaluate `P(0..e-1)` ([`Engine::run`], over the simulated
+//!   byzantine cluster of `camelot-cluster`);
+//! * robustness is intrinsic: each node Gao-decodes its received word,
+//!   recovering the proof and *identifying* the failed nodes
+//!   ([`Certificate`]);
+//! * verification is a randomized spot check costing one evaluation of
+//!   `P` per trial ([`spot_check`], soundness error `<= d/q` per trial);
+//! * every Camelot algorithm is, as is, a Merlin–Arthur protocol
+//!   ([`merlin_prove`] / [`arthur_verify`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod merlin;
+mod problem;
+mod verify;
+mod wire;
+
+pub use engine::{
+    choose_primes, code_length, CamelotOutcome, Certificate, Engine, EngineConfig, RunReport,
+};
+pub use error::CamelotError;
+pub use merlin::{arthur_verify, merlin_prove};
+pub use problem::{CamelotProblem, Evaluate, PrimeProof, ProofSpec};
+pub use verify::{soundness_error, spot_check, VerifyReport};

@@ -1,0 +1,135 @@
+//! Independent randomized proof verification (§1.3, step 3).
+//!
+//! Any entity with the common input and a putative proof
+//! `p̃_0, …, p̃_d` can check it: draw `x0` uniformly from `Z_q`, evaluate
+//! `P(x0)` with the same algorithm the nodes used, and compare against
+//! Horner on the coefficients. A wrong proof survives one trial with
+//! probability at most `d/q` (fundamental theorem of algebra), and the
+//! verifier drives this down by independent repetition.
+
+use crate::error::CamelotError;
+use crate::problem::{CamelotProblem, PrimeProof};
+use camelot_ff::{PrimeField, SplitMix64};
+
+/// Outcome of a spot-check session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Trials performed (may stop early on rejection).
+    pub trials_run: usize,
+    /// Whether every trial accepted.
+    pub accepted: bool,
+}
+
+/// Spot-checks one prime proof with `trials` random evaluations.
+///
+/// # Errors
+///
+/// Returns [`CamelotError::MalformedProof`] if the proof's degree exceeds
+/// the spec bound or its modulus is below the spec minimum — those are
+/// structural failures no amount of randomness should excuse.
+pub fn spot_check<P: CamelotProblem>(
+    problem: &P,
+    proof: &PrimeProof,
+    trials: usize,
+    seed: u64,
+) -> Result<VerifyReport, CamelotError> {
+    let spec = problem.spec();
+    if proof.coefficients.len() > spec.degree_bound + 1 {
+        return Err(CamelotError::MalformedProof {
+            reason: format!(
+                "degree {} exceeds bound {}",
+                proof.coefficients.len() - 1,
+                spec.degree_bound
+            ),
+        });
+    }
+    if proof.modulus < spec.min_modulus {
+        return Err(CamelotError::MalformedProof {
+            reason: format!("modulus {} below spec minimum {}", proof.modulus, spec.min_modulus),
+        });
+    }
+    let field = PrimeField::new_unchecked(proof.modulus);
+    let evaluator = problem.evaluator(&field);
+    let mut rng = SplitMix64::new(seed ^ proof.modulus);
+    for trial in 0..trials {
+        let x0 = field.sample(&mut rng);
+        if evaluator.eval(x0) != proof.eval(x0) {
+            return Ok(VerifyReport { trials_run: trial + 1, accepted: false });
+        }
+    }
+    Ok(VerifyReport { trials_run: trials, accepted: true })
+}
+
+/// Upper bound on the probability that a *wrong* proof survives `trials`
+/// independent spot checks: `(d/q)^trials`.
+#[must_use]
+pub fn soundness_error(degree_bound: usize, modulus: u64, trials: usize) -> f64 {
+    let per_trial = degree_bound as f64 / modulus as f64;
+    per_trial.min(1.0).powi(i32::try_from(trials).unwrap_or(i32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Evaluate, ProofSpec};
+
+    /// P(x) = 7 + 5x over any modulus; answer = 7.
+    struct Affine;
+
+    impl CamelotProblem for Affine {
+        type Output = u64;
+
+        fn spec(&self) -> ProofSpec {
+            ProofSpec::new(1, 1 << 20, 20)
+        }
+
+        fn evaluator<'a>(&'a self, field: &PrimeField) -> Box<dyn Evaluate + 'a> {
+            let f = *field;
+            Box::new(move |x: u64| f.add(7, f.mul(5, f.reduce(x))))
+        }
+
+        fn recover(&self, proofs: &[PrimeProof]) -> Result<u64, CamelotError> {
+            Ok(proofs[0].eval(0))
+        }
+    }
+
+    #[test]
+    fn correct_proof_always_accepts() {
+        let proof = PrimeProof { modulus: 1_048_583, coefficients: vec![7, 5] };
+        let report = spot_check(&Affine, &proof, 16, 1).unwrap();
+        assert!(report.accepted);
+        assert_eq!(report.trials_run, 16);
+    }
+
+    #[test]
+    fn wrong_proof_rejects_quickly() {
+        let proof = PrimeProof { modulus: 1_048_583, coefficients: vec![7, 6] };
+        let report = spot_check(&Affine, &proof, 16, 1).unwrap();
+        assert!(!report.accepted);
+        // d/q is tiny here, so the very first trial should already reject.
+        assert_eq!(report.trials_run, 1);
+    }
+
+    #[test]
+    fn structural_violations_are_malformed() {
+        let too_long = PrimeProof { modulus: 1_048_583, coefficients: vec![1, 2, 3] };
+        assert!(matches!(
+            spot_check(&Affine, &too_long, 1, 0),
+            Err(CamelotError::MalformedProof { .. })
+        ));
+        let small_modulus = PrimeProof { modulus: 101, coefficients: vec![7, 5] };
+        assert!(matches!(
+            spot_check(&Affine, &small_modulus, 1, 0),
+            Err(CamelotError::MalformedProof { .. })
+        ));
+    }
+
+    #[test]
+    fn soundness_error_shrinks_with_trials() {
+        let one = soundness_error(1000, 1 << 40, 1);
+        let three = soundness_error(1000, 1 << 40, 3);
+        assert!(one < 1e-9);
+        assert!(three < one * one);
+        assert_eq!(soundness_error(10, 5, 2), 1.0); // degenerate d >= q caps at 1
+    }
+}

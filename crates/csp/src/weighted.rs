@@ -1,0 +1,170 @@
+//! Weighted 2-CSPs (the remark after Theorem 12).
+//!
+//! *“Theorem 12 admits a generalization to weighted instances where each
+//! 2-constraint has a nonnegative integer weight at most W. In this case
+//! both the proof size and the per-node running time get multiplied by
+//! W.”* — the generating polynomial becomes
+//! `X(w) = Σ_k (#assignments of total satisfied weight k) w^k` of degree
+//! at most `Σ weights <= mW`, so `mW + 1` weight points reconstruct the
+//! histogram by total satisfied *weight*.
+
+use crate::{Csp2, CspWeightValue};
+use camelot_core::{CamelotError, Engine};
+use camelot_ff::{IBig, UBig};
+use camelot_partition::interpolate_integer;
+
+/// A weighted 2-CSP: the base instance plus one nonnegative weight per
+/// constraint.
+#[derive(Clone, Debug)]
+pub struct WeightedCsp2 {
+    csp: Csp2,
+    weights: Vec<u64>,
+}
+
+impl WeightedCsp2 {
+    /// Attaches weights to an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count does not match the constraint count.
+    #[must_use]
+    pub fn new(csp: Csp2, weights: Vec<u64>) -> Self {
+        assert_eq!(
+            weights.len(),
+            csp.constraint_count(),
+            "one weight per constraint required"
+        );
+        WeightedCsp2 { csp, weights }
+    }
+
+    /// Total weight `Σ w_j` (the degree bound of the generating
+    /// polynomial; the paper's `mW` envelope).
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// The underlying unweighted instance.
+    #[must_use]
+    pub fn csp(&self) -> &Csp2 {
+        &self.csp
+    }
+
+    /// Satisfied weight of a full assignment.
+    #[must_use]
+    pub fn satisfied_weight(&self, assignment: &[usize]) -> u64 {
+        self.csp
+            .satisfied_flags(assignment)
+            .iter()
+            .zip(&self.weights)
+            .filter_map(|(&sat, &w)| sat.then_some(w))
+            .sum()
+    }
+
+    /// Ground truth histogram over total satisfied weight (brute force).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `σ^n > 2^24`.
+    #[must_use]
+    pub fn reference_weight_histogram(&self) -> Vec<u64> {
+        let sigma = self.csp.sigma();
+        let n = self.csp.vars();
+        let total = (sigma as u64).pow(n as u32);
+        assert!(total <= 1 << 24, "brute force space too large");
+        let mut hist = vec![0u64; self.total_weight() as usize + 1];
+        let mut assignment = vec![0usize; n];
+        for code in 0..total {
+            let mut c = code;
+            for slot in assignment.iter_mut() {
+                *slot = (c % sigma as u64) as usize;
+                c /= sigma as u64;
+            }
+            hist[self.satisfied_weight(&assignment) as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// The full weighted pipeline: histogram of assignments by total
+/// satisfied weight, via `Σw + 1` Camelot weight-point runs.
+///
+/// # Errors
+///
+/// Propagates engine failures from the per-point runs.
+pub fn enumerate_by_satisfied_weight(
+    instance: &WeightedCsp2,
+    engine: &Engine,
+) -> Result<Vec<UBig>, CamelotError> {
+    let degree = instance.total_weight() as usize;
+    let mut values = Vec::with_capacity(degree + 1);
+    for w0 in 0..=degree as u64 {
+        let problem =
+            CspWeightValue::with_weights(instance.csp.clone(), instance.weights.clone(), w0);
+        values.push(IBig::from_parts(false, engine.run(&problem)?.output));
+    }
+    let coeffs = interpolate_integer(&values, 0);
+    let mut hist: Vec<UBig> = coeffs
+        .into_iter()
+        .map(|c| {
+            debug_assert!(!c.is_negative(), "histogram entries are counts");
+            c.magnitude().clone()
+        })
+        .collect();
+    hist.resize(degree + 1, UBig::zero());
+    Ok(hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Constraint;
+
+    fn engine() -> Engine {
+        Engine::sequential(4, 2)
+    }
+
+    fn hist_u64(h: &[UBig]) -> Vec<u64> {
+        h.iter().map(|v| v.to_u64().unwrap()).collect()
+    }
+
+    #[test]
+    fn weighted_histogram_matches_brute_force() {
+        for seed in 0..2 {
+            let csp = Csp2::random(6, 2, 3, 50, seed);
+            let instance = WeightedCsp2::new(csp, vec![1, 2, 3]);
+            let expect = instance.reference_weight_histogram();
+            let hist = enumerate_by_satisfied_weight(&instance, &engine()).unwrap();
+            assert_eq!(hist_u64(&hist), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_the_plain_histogram() {
+        let csp = Csp2::random(6, 2, 4, 50, 9);
+        let plain = crate::enumerate_by_satisfied(&csp, &engine()).unwrap();
+        let instance = WeightedCsp2::new(csp, vec![1; 4]);
+        let weighted = enumerate_by_satisfied_weight(&instance, &engine()).unwrap();
+        assert_eq!(hist_u64(&plain), hist_u64(&weighted));
+    }
+
+    #[test]
+    fn zero_weight_constraints_do_not_spread_the_histogram() {
+        // One always-true constraint with weight 0: everything lands at 0.
+        let allowed = vec![true; 4];
+        let csp = Csp2::new(6, 2, vec![Constraint { u: 0, v: 3, allowed }]);
+        let instance = WeightedCsp2::new(csp, vec![0]);
+        let hist = enumerate_by_satisfied_weight(&instance, &engine()).unwrap();
+        assert_eq!(hist_u64(&hist), vec![64]);
+    }
+
+    #[test]
+    fn heavy_weight_shifts_the_mass() {
+        // One always-true constraint with weight 5: everything at 5.
+        let allowed = vec![true; 4];
+        let csp = Csp2::new(6, 2, vec![Constraint { u: 1, v: 4, allowed }]);
+        let instance = WeightedCsp2::new(csp, vec![5]);
+        let hist = enumerate_by_satisfied_weight(&instance, &engine()).unwrap();
+        assert_eq!(hist_u64(&hist), vec![0, 0, 0, 0, 0, 64]);
+    }
+}

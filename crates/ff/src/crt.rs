@@ -1,0 +1,146 @@
+//! Chinese Remainder reconstruction over the integers.
+//!
+//! Camelot proof polynomials live in `Z_q`, but the quantities the paper
+//! counts (permanents, clique counts, Tutte coefficients, …) are integers
+//! that can far exceed one word. Following footnote 5 of the paper, the
+//! engine presents the proof modulo several distinct primes and each
+//! verifier reconstructs the integer with the CRT. [`crt_u`] reconstructs a
+//! known-nonnegative value; [`crt_i`] uses the symmetric lift to recover a
+//! signed value with `|x| < prod(q_i) / 2`.
+
+use crate::fp::PrimeField;
+use crate::ubig::{IBig, UBig};
+
+/// A single residue `value mod modulus`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Residue {
+    /// The prime modulus.
+    pub modulus: u64,
+    /// The residue in `[0, modulus)`.
+    pub value: u64,
+}
+
+/// Reconstructs the unique `x` with `0 <= x < prod(moduli)` matching all
+/// residues, by incremental Garner-style mixed-radix lifting.
+///
+/// # Panics
+///
+/// Panics if `residues` is empty, if moduli are not pairwise coprime
+/// (duplicate primes), or if any residue is out of range.
+#[must_use]
+pub fn crt_u(residues: &[Residue]) -> UBig {
+    assert!(!residues.is_empty(), "CRT needs at least one residue");
+    let mut x = UBig::from_u64(residues[0].value % residues[0].modulus);
+    let mut modulus = UBig::from_u64(residues[0].modulus);
+    for r in &residues[1..] {
+        assert!(r.value < r.modulus, "residue out of range");
+        let f = PrimeField::new_unchecked(r.modulus);
+        let m_mod_q = modulus.rem_u64(r.modulus);
+        assert!(m_mod_q != 0, "CRT moduli must be pairwise coprime");
+        let x_mod_q = x.rem_u64(r.modulus);
+        // delta = (r - x) * modulus^{-1}  (mod q)
+        let delta = f.mul(f.sub(r.value, x_mod_q), f.inv(m_mod_q));
+        x = x.add(&modulus.mul_u64(delta));
+        modulus = modulus.mul_u64(r.modulus);
+    }
+    x
+}
+
+/// Reconstructs the unique signed `x` with `|x| <= (prod(moduli) - 1) / 2`
+/// matching all residues (symmetric representative).
+///
+/// # Panics
+///
+/// As [`crt_u`].
+#[must_use]
+pub fn crt_i(residues: &[Residue]) -> IBig {
+    let x = crt_u(residues);
+    let mut modulus = UBig::one();
+    for r in residues {
+        modulus = modulus.mul_u64(r.modulus);
+    }
+    // If x > (M-1)/2, the signed representative is x - M.
+    let half = modulus.sub(&UBig::one()).div_rem_u64(2).0;
+    if x > half {
+        IBig::from_parts(true, modulus.sub(&x))
+    } else {
+        IBig::from_parts(false, x)
+    }
+}
+
+/// Number of primes of at least `prime_bits` bits needed so their product
+/// exceeds `2^value_bits` (use `value_bits + 1` for signed quantities).
+#[must_use]
+pub fn primes_needed(value_bits: u64, prime_bits: u64) -> usize {
+    assert!(prime_bits > 0);
+    usize::try_from(value_bits.div_ceil(prime_bits).max(1)).expect("prime count fits usize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::primes_above;
+
+    #[test]
+    fn reconstructs_small_values() {
+        let primes = [97u64, 101, 103];
+        for x in [0u64, 1, 96, 12345, 97 * 101 * 103 - 1] {
+            let residues: Vec<Residue> = primes
+                .iter()
+                .map(|&q| Residue { modulus: q, value: x % q })
+                .collect();
+            assert_eq!(crt_u(&residues).to_u64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn reconstructs_beyond_u64() {
+        let primes = primes_above(1 << 61, 3);
+        let x: u128 = (1u128 << 100) + 987654321;
+        let residues: Vec<Residue> = primes
+            .iter()
+            .map(|&q| Residue { modulus: q, value: (x % u128::from(q)) as u64 })
+            .collect();
+        assert_eq!(crt_u(&residues).to_u128(), Some(x));
+    }
+
+    #[test]
+    fn signed_reconstruction_symmetric_lift() {
+        let primes = [1_000_003u64, 1_000_033];
+        for x in [-5i128, -1, 0, 1, 5, -123_456_789_012, 123_456_789_012] {
+            let residues: Vec<Residue> = primes
+                .iter()
+                .map(|&q| {
+                    let r = x.rem_euclid(i128::from(q)) as u64;
+                    Residue { modulus: q, value: r }
+                })
+                .collect();
+            assert_eq!(crt_i(&residues).to_i128(), Some(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn single_modulus_is_identity() {
+        let r = [Residue { modulus: 11, value: 7 }];
+        assert_eq!(crt_u(&r).to_u64(), Some(7));
+        assert_eq!(crt_i(&r).to_i64(), Some(-4)); // 7 > 5 = (11-1)/2
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise coprime")]
+    fn duplicate_moduli_rejected() {
+        let r = [
+            Residue { modulus: 11, value: 7 },
+            Residue { modulus: 11, value: 7 },
+        ];
+        let _ = crt_u(&r);
+    }
+
+    #[test]
+    fn primes_needed_covers_bits() {
+        assert_eq!(primes_needed(61, 61), 1);
+        assert_eq!(primes_needed(62, 61), 2);
+        assert_eq!(primes_needed(200, 61), 4);
+        assert_eq!(primes_needed(0, 61), 1);
+    }
+}

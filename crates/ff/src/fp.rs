@@ -1,0 +1,388 @@
+//! Arithmetic in the prime field `Z_q` for a word-sized prime `q`.
+//!
+//! The Camelot framework (§1.3 of the paper) works with proof polynomials
+//! over `Z_q` for primes `q` that every node can derive from the common
+//! input. We represent a field as a lightweight [`PrimeField`] descriptor
+//! holding the modulus; field elements are raw `u64` values in `[0, q)`.
+//! All products go through `u128` widening so any `q < 2^62` is safe even
+//! for sums of a few products.
+
+use crate::prime::is_prime_u64;
+
+/// Maximum supported modulus (exclusive). Keeping two bits of headroom
+/// allows `a + b` and the lazy accumulation patterns used in the linear
+/// algebra kernels without overflow checks.
+pub const MAX_MODULUS: u64 = 1 << 62;
+
+/// A prime field `Z_q` with `q < 2^62`.
+///
+/// # Examples
+///
+/// ```
+/// use camelot_ff::PrimeField;
+///
+/// let f = PrimeField::new(101).unwrap();
+/// let a = f.add(70, 40);
+/// assert_eq!(a, 9);
+/// assert_eq!(f.mul(f.inv(7), 7), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrimeField {
+    q: u64,
+}
+
+/// Error returned by [`PrimeField::new`] for invalid moduli.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldError {
+    /// The modulus is not a prime number.
+    NotPrime(u64),
+    /// The modulus is too large (`>= 2^62`).
+    TooLarge(u64),
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::NotPrime(q) => write!(f, "modulus {q} is not prime"),
+            FieldError::TooLarge(q) => write!(f, "modulus {q} exceeds 2^62"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+impl PrimeField {
+    /// Creates the field `Z_q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NotPrime`] if `q` is composite or `< 2`, and
+    /// [`FieldError::TooLarge`] if `q >= 2^62`.
+    pub fn new(q: u64) -> Result<Self, FieldError> {
+        if q >= MAX_MODULUS {
+            return Err(FieldError::TooLarge(q));
+        }
+        if !is_prime_u64(q) {
+            return Err(FieldError::NotPrime(q));
+        }
+        Ok(PrimeField { q })
+    }
+
+    /// Creates the field without checking primality.
+    ///
+    /// Intended for hot paths that re-create a descriptor from a modulus
+    /// already validated by [`PrimeField::new`]. Arithmetic is still
+    /// well-defined for composite `q` (it is `Z/qZ`), but inverses may not
+    /// exist.
+    #[must_use]
+    pub fn new_unchecked(q: u64) -> Self {
+        debug_assert!((2..MAX_MODULUS).contains(&q));
+        PrimeField { q }
+    }
+
+    /// The modulus `q`.
+    #[inline]
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn reduce(&self, a: u64) -> u64 {
+        a % self.q
+    }
+
+    /// Reduces an `u128` into `[0, q)`.
+    #[inline]
+    #[must_use]
+    pub fn reduce_u128(&self, a: u128) -> u64 {
+        (a % u128::from(self.q)) as u64
+    }
+
+    /// Embeds a signed integer, mapping negatives to `q - |a| mod q`.
+    #[inline]
+    #[must_use]
+    pub fn from_i64(&self, a: i64) -> u64 {
+        if a >= 0 {
+            self.reduce(a as u64)
+        } else {
+            let m = self.reduce(a.unsigned_abs());
+            self.neg(m)
+        }
+    }
+
+    /// `a + b mod q`. Inputs must already be reduced.
+    #[inline]
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// `a - b mod q`. Inputs must already be reduced.
+    #[inline]
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// `-a mod q`. Input must already be reduced.
+    #[inline]
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// `a * b mod q`. Inputs must already be reduced.
+    #[inline]
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        (u128::from(a) * u128::from(b) % u128::from(self.q)) as u64
+    }
+
+    /// Fused multiply-add `acc + a * b mod q`.
+    #[inline]
+    #[must_use]
+    pub fn mul_add(&self, acc: u64, a: u64, b: u64) -> u64 {
+        ((u128::from(a) * u128::from(b) + u128::from(acc)) % u128::from(self.q)) as u64
+    }
+
+    /// `a^e mod q` by square-and-multiply.
+    #[must_use]
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        debug_assert!(a < self.q);
+        let mut base = a;
+        let mut acc = 1u64 % self.q;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` (zero has no inverse).
+    #[must_use]
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "attempted to invert zero in Z_{}", self.q);
+        // Extended binary-free Euclid on signed i128 accumulators.
+        let (mut r0, mut r1) = (i128::from(self.q), i128::from(a));
+        let (mut s0, mut s1) = (0i128, 1i128);
+        while r1 != 0 {
+            let k = r0 / r1;
+            (r0, r1) = (r1, r0 - k * r1);
+            (s0, s1) = (s1, s0 - k * s1);
+        }
+        debug_assert_eq!(r0, 1, "gcd({a}, {}) != 1", self.q);
+        let q = i128::from(self.q);
+        (((s0 % q) + q) % q) as u64
+    }
+
+    /// Batch inversion via Montgomery's trick: one inversion plus `3n`
+    /// multiplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is zero.
+    pub fn inv_batch(&self, values: &mut [u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = 1u64;
+        for &v in values.iter() {
+            assert!(v != 0, "attempted to batch-invert zero in Z_{}", self.q);
+            prefix.push(acc);
+            acc = self.mul(acc, v);
+        }
+        let mut inv_acc = self.inv(acc);
+        for i in (0..values.len()).rev() {
+            let v = values[i];
+            values[i] = self.mul(inv_acc, prefix[i]);
+            inv_acc = self.mul(inv_acc, v);
+        }
+    }
+
+    /// Uniformly random field element from the given generator.
+    #[must_use]
+    pub fn sample<R: rand_like::RngLike>(&self, rng: &mut R) -> u64 {
+        // Rejection sampling for exact uniformity.
+        let zone = u64::MAX - u64::MAX % self.q;
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % self.q;
+            }
+        }
+    }
+}
+
+/// Minimal RNG abstraction so `camelot-ff` itself stays dependency-free;
+/// `rand` RNGs implement it through the blanket impl in downstream crates
+/// or via the adapter here.
+pub mod rand_like {
+    /// A source of random `u64`s.
+    pub trait RngLike {
+        /// Returns the next random word.
+        fn next_u64(&mut self) -> u64;
+    }
+
+    /// A tiny deterministic split-mix generator, useful for tests and for
+    /// reproducible fault injection.
+    #[derive(Clone, Debug)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Creates a generator from a seed.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            SplitMix64 { state: seed }
+        }
+    }
+
+    impl RngLike for SplitMix64 {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_like::SplitMix64;
+    use super::*;
+
+    #[test]
+    fn new_rejects_composites_and_large() {
+        assert_eq!(PrimeField::new(1), Err(FieldError::NotPrime(1)));
+        assert_eq!(PrimeField::new(91), Err(FieldError::NotPrime(91)));
+        assert!(matches!(
+            PrimeField::new(MAX_MODULUS + 1),
+            Err(FieldError::TooLarge(_))
+        ));
+        assert!(PrimeField::new(2).is_ok());
+        assert!(PrimeField::new((1 << 61) - 1).is_ok()); // Mersenne prime
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let f = PrimeField::new(97).unwrap();
+        for a in 0..97 {
+            for b in 0..97 {
+                let s = f.add(a, b);
+                assert_eq!(f.sub(s, b), a);
+                assert_eq!(f.add(f.neg(a), a), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_naive() {
+        let f = PrimeField::new(1_000_000_007).unwrap();
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let a = f.sample(&mut rng);
+            let b = f.sample(&mut rng);
+            assert_eq!(f.mul(a, b), ((a as u128 * b as u128) % 1_000_000_007) as u64);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let f = PrimeField::new(65_537).unwrap();
+        for a in [1u64, 2, 3, 12345, 65_536] {
+            assert_eq!(f.pow(a, 65_536), 1);
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct_everywhere_small() {
+        let f = PrimeField::new(251).unwrap();
+        for a in 1..251 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn inverse_of_zero_panics() {
+        let f = PrimeField::new(7).unwrap();
+        let _ = f.inv(0);
+    }
+
+    #[test]
+    fn batch_inversion_matches_scalar() {
+        let f = PrimeField::new(1_000_003).unwrap();
+        let mut rng = SplitMix64::new(42);
+        let vals: Vec<u64> = (0..257).map(|_| 1 + f.sample(&mut rng) % (f.modulus() - 1)).collect();
+        let mut batch = vals.clone();
+        f.inv_batch(&mut batch);
+        for (v, b) in vals.iter().zip(&batch) {
+            assert_eq!(f.inv(*v), *b);
+        }
+    }
+
+    #[test]
+    fn from_i64_handles_negatives() {
+        let f = PrimeField::new(101).unwrap();
+        assert_eq!(f.from_i64(-1), 100);
+        assert_eq!(f.from_i64(-101), 0);
+        assert_eq!(f.from_i64(-202), 0);
+        assert_eq!(f.from_i64(5), 5);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let f = PrimeField::new((1 << 61) - 1).unwrap();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let acc = f.sample(&mut rng);
+            let a = f.sample(&mut rng);
+            let b = f.sample(&mut rng);
+            assert_eq!(f.mul_add(acc, a, b), f.add(acc, f.mul(a, b)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_in_range() {
+        let f = PrimeField::new(11).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let mut seen = [false; 11];
+        for _ in 0..500 {
+            let v = f.sample(&mut rng);
+            assert!(v < 11);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+}

@@ -1,0 +1,295 @@
+//! Primality testing and prime search.
+//!
+//! The Camelot template assumes each node can compute suitable primes `q`
+//! from the common input in `O*(1)` time (§1.3, citing AKS [2]; in the
+//! word-RAM range deterministic Miller–Rabin is both simpler and faster).
+
+/// Deterministic Miller–Rabin for `u64`.
+///
+/// Uses the 12-base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`,
+/// which is known to be exact for all `n < 3.3 * 10^24`, comfortably
+/// covering `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use camelot_ff::is_prime_u64;
+/// assert!(is_prime_u64((1 << 61) - 1));
+/// assert!(!is_prime_u64(1_000_000_007u64 * 3));
+/// ```
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = d >> s;
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    (u128::from(a) * u128::from(b) % u128::from(m)) as u64
+}
+
+fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Smallest prime `>= n`.
+///
+/// # Panics
+///
+/// Panics if no prime `>= n` fits in `u64` (practically unreachable for the
+/// moduli Camelot uses, all below `2^62`).
+#[must_use]
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    loop {
+        if is_prime_u64(n) {
+            return n;
+        }
+        n = n.checked_add(2).expect("prime search overflowed u64");
+    }
+}
+
+/// Returns `count` distinct primes, each `>= floor`, in increasing order.
+///
+/// This is how the engine provisions moduli for Chinese Remainder
+/// reconstruction (footnote 5 of the paper): every node derives the same
+/// deterministic sequence from the same bound.
+#[must_use]
+pub fn primes_above(floor: u64, count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut p = floor;
+    while out.len() < count {
+        p = next_prime(p);
+        out.push(p);
+        p += 1;
+    }
+    out
+}
+
+/// Finds a prime `q >= floor` such that `q ≡ 1 (mod 2^k)`, enabling a
+/// radix-2 NTT of length `2^k`, together with a primitive `2^k`-th root of
+/// unity modulo `q`.
+///
+/// Returns `(q, root)`.
+///
+/// # Panics
+///
+/// Panics if `k >= 62` (no such modulus fits under `2^62`).
+#[must_use]
+pub fn ntt_prime(floor: u64, k: u32) -> (u64, u64) {
+    assert!(k < 62, "NTT length 2^{k} exceeds the supported modulus range");
+    let step = 1u64 << k;
+    // Smallest multiple of 2^k with m*2^k + 1 >= floor.
+    let mut m = floor.saturating_sub(1).div_ceil(step).max(1);
+    loop {
+        let q = m
+            .checked_mul(step)
+            .and_then(|v| v.checked_add(1))
+            .expect("NTT prime search overflowed u64");
+        assert!(q < (1 << 62), "NTT prime search left the supported range");
+        if is_prime_u64(q) {
+            let g = primitive_root(q);
+            let root = pow_mod(g, (q - 1) >> k, q);
+            return (q, root);
+        }
+        m += 1;
+    }
+}
+
+/// Finds the smallest primitive root modulo a prime `q`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime (factorization of `q - 1` would be wrong).
+#[must_use]
+pub fn primitive_root(q: u64) -> u64 {
+    assert!(is_prime_u64(q), "{q} is not prime");
+    if q == 2 {
+        return 1;
+    }
+    let phi = q - 1;
+    let factors = factorize(phi);
+    'candidate: for g in 2..q {
+        for &f in &factors {
+            if pow_mod(g, phi / f, q) == 1 {
+                continue 'candidate;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+/// Distinct prime factors of `n` by trial division + Pollard rho for the
+/// large cofactor.
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        if n.is_multiple_of(p) {
+            factors.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+    }
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        if m == 1 {
+            continue;
+        }
+        if is_prime_u64(m) {
+            if !factors.contains(&m) {
+                factors.push(m);
+            }
+            continue;
+        }
+        let d = pollard_rho(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    factors.sort_unstable();
+    factors
+}
+
+fn pollard_rho(n: u64) -> u64 {
+    debug_assert!(n > 1 && !is_prime_u64(n));
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut c = 1u64;
+    loop {
+        let f = |x: u64| (mul_mod(x, x, n) + c) % n;
+        let (mut x, mut y, mut d) = (2u64, 2u64, 1u64);
+        while d == 1 {
+            x = f(x);
+            y = f(f(y));
+            d = gcd(x.abs_diff(y), n);
+        }
+        if d != n {
+            return d;
+        }
+        c += 1;
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified_correctly() {
+        let primes: Vec<u64> = (0..200u64).filter(|&n| is_prime_u64(n)).collect();
+        let expected = [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+            79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+            173, 179, 181, 191, 193, 197, 199,
+        ];
+        assert_eq!(primes, expected);
+    }
+
+    #[test]
+    fn known_large_primes_and_composites() {
+        assert!(is_prime_u64((1 << 61) - 1));
+        assert!(is_prime_u64(1_000_000_007));
+        assert!(is_prime_u64(0xFFFF_FFFF_0000_0001)); // Goldilocks, 2^64-2^32+1
+        assert!(!is_prime_u64(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+        assert!(!is_prime_u64((1u64 << 62) - 1));
+    }
+
+    #[test]
+    fn next_prime_walks_forward() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(8), 11);
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(1 << 20), 1_048_583);
+    }
+
+    #[test]
+    fn primes_above_gives_distinct_sorted_primes() {
+        let ps = primes_above(1 << 40, 5);
+        assert_eq!(ps.len(), 5);
+        for w in ps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &p in &ps {
+            assert!(p >= 1 << 40);
+            assert!(is_prime_u64(p));
+        }
+    }
+
+    #[test]
+    fn ntt_prime_has_requested_two_adic_root() {
+        let (q, w) = ntt_prime(1 << 20, 12);
+        assert!(is_prime_u64(q));
+        assert_eq!((q - 1) % (1 << 12), 0);
+        // w has multiplicative order exactly 2^12.
+        assert_eq!(pow_mod(w, 1 << 12, q), 1);
+        assert_ne!(pow_mod(w, 1 << 11, q), 1);
+    }
+
+    #[test]
+    fn primitive_root_orders() {
+        for q in [3u64, 5, 7, 65_537, 998_244_353] {
+            let g = primitive_root(q);
+            // g^((q-1)/f) != 1 for each prime factor f already checked in
+            // the implementation; spot-check full order here.
+            assert_eq!(pow_mod(g, q - 1, q), 1);
+            assert_ne!(pow_mod(g, (q - 1) / 2, q), 1);
+        }
+    }
+
+    #[test]
+    fn factorize_covers_mixed_composites() {
+        assert_eq!(factorize(2 * 3 * 3 * 11 * 101), vec![2, 3, 11, 101]);
+        assert_eq!(factorize(1_000_000_007u64 * 2), vec![2, 1_000_000_007]);
+        // semiprime with two large factors exercises Pollard rho
+        assert_eq!(factorize(1_000_003u64 * 1_000_033), vec![1_000_003, 1_000_033]);
+    }
+}

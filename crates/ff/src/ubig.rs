@@ -1,0 +1,554 @@
+//! Minimal arbitrary-precision integers.
+//!
+//! Camelot proofs are reconstructed over the integers via the Chinese
+//! Remainder Theorem (footnote 5 of the paper). The counts involved — e.g.
+//! the permanent of an `n x n` matrix, bounded by `n! * max|a_ij|^n` — do
+//! not fit machine words, and the sanctioned offline dependency set has no
+//! bignum crate, so we implement a small, well-tested one: unsigned
+//! [`UBig`] on base-`2^64` limbs and signed [`IBig`] on top.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs,
+/// no trailing zero limbs; zero is the empty limb vector).
+#[derive(Clone, Debug, PartialEq, Eq, Default, Hash)]
+pub struct UBig {
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// One.
+    #[must_use]
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Creates from a `u64`.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+
+    /// Creates from a `u128`.
+    #[must_use]
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = UBig { limbs: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// True if the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
+        }
+    }
+
+    /// Converts to `u64` if it fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if it fits.
+    #[must_use]
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &UBig) -> UBig {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len() {
+            let bi = b.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    #[must_use]
+    pub fn sub(&self, other: &UBig) -> UBig {
+        assert!(self >= other, "UBig::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let bi = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(bi);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * other` (schoolbook; operand sizes here are tiny — a few
+    /// dozen limbs at most).
+    #[must_use]
+    pub fn mul(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(a) * u128::from(b) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(out[k]) + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = UBig { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self * m` for a word multiplier.
+    #[must_use]
+    pub fn mul_u64(&self, m: u64) -> UBig {
+        self.mul(&UBig::from_u64(m))
+    }
+
+    /// `(self / d, self % d)` for a word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn div_rem_u64(&self, d: u64) -> (UBig, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        let mut q = UBig { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// `self mod d` for a word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn rem_u64(&self, d: u64) -> u64 {
+        self.div_rem_u64(d).1
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10_000_000_000_000_000_000);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, d) in digits.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&d.to_string());
+            } else {
+                s.push_str(&format!("{d:019}"));
+            }
+        }
+        write!(f, "{s}")
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        UBig::from_u64(v)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_u128(v)
+    }
+}
+
+/// An arbitrary-precision signed integer (sign–magnitude over [`UBig`]).
+#[derive(Clone, Debug, PartialEq, Eq, Default, Hash)]
+pub struct IBig {
+    /// True for strictly negative values; zero is always non-negative.
+    negative: bool,
+    magnitude: UBig,
+}
+
+impl IBig {
+    /// Zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        IBig { negative: false, magnitude: UBig::zero() }
+    }
+
+    /// Creates from sign and magnitude (zero magnitude forces sign +).
+    #[must_use]
+    pub fn from_parts(negative: bool, magnitude: UBig) -> Self {
+        let negative = negative && !magnitude.is_zero();
+        IBig { negative, magnitude }
+    }
+
+    /// Creates from an `i64`.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Self {
+        IBig::from_parts(v < 0, UBig::from_u64(v.unsigned_abs()))
+    }
+
+    /// Creates from an `i128`.
+    #[must_use]
+    pub fn from_i128(v: i128) -> Self {
+        IBig::from_parts(v < 0, UBig::from_u128(v.unsigned_abs()))
+    }
+
+    /// True if zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// True if strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn magnitude(&self) -> &UBig {
+        &self.magnitude
+    }
+
+    /// Converts to `i64` if it fits.
+    #[must_use]
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.magnitude.to_u64()?;
+        if self.negative {
+            if m <= 1 << 63 {
+                Some((m as i64).wrapping_neg())
+            } else {
+                None
+            }
+        } else {
+            i64::try_from(m).ok()
+        }
+    }
+
+    /// Converts to `i128` if it fits.
+    #[must_use]
+    pub fn to_i128(&self) -> Option<i128> {
+        let m = self.magnitude.to_u128()?;
+        if self.negative {
+            if m <= 1 << 127 {
+                Some((m as i128).wrapping_neg())
+            } else {
+                None
+            }
+        } else {
+            i128::try_from(m).ok()
+        }
+    }
+
+    /// `-self`.
+    #[must_use]
+    pub fn neg(&self) -> IBig {
+        IBig::from_parts(!self.negative, self.magnitude.clone())
+    }
+
+    /// `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &IBig) -> IBig {
+        if self.negative == other.negative {
+            IBig::from_parts(self.negative, self.magnitude.add(&other.magnitude))
+        } else if self.magnitude >= other.magnitude {
+            IBig::from_parts(self.negative, self.magnitude.sub(&other.magnitude))
+        } else {
+            IBig::from_parts(other.negative, other.magnitude.sub(&self.magnitude))
+        }
+    }
+
+    /// `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &IBig) -> IBig {
+        self.add(&other.neg())
+    }
+
+    /// `self * other`.
+    #[must_use]
+    pub fn mul(&self, other: &IBig) -> IBig {
+        IBig::from_parts(self.negative != other.negative, self.magnitude.mul(&other.magnitude))
+    }
+
+    /// `self * m` for a word multiplier.
+    #[must_use]
+    pub fn mul_i64(&self, m: i64) -> IBig {
+        self.mul(&IBig::from_i64(m))
+    }
+
+    /// Exact division by a word divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or the division is not exact.
+    #[must_use]
+    pub fn div_exact_u64(&self, d: u64) -> IBig {
+        let (q, r) = self.magnitude.div_rem_u64(d);
+        assert_eq!(r, 0, "IBig::div_exact_u64: non-exact division by {d}");
+        IBig::from_parts(self.negative, q)
+    }
+
+    /// Representative of `self mod q` in `[0, q)`.
+    #[must_use]
+    pub fn rem_euclid_u64(&self, q: u64) -> u64 {
+        let r = self.magnitude.rem_u64(q);
+        if self.negative && r != 0 {
+            q - r
+        } else {
+            r
+        }
+    }
+}
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+impl From<i64> for IBig {
+    fn from(v: i64) -> Self {
+        IBig::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> UBig {
+        UBig::from_u128(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128_range() {
+        let a = big(u128::MAX - 3);
+        let b = big(12345678901234567890);
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+        assert!(s > a);
+    }
+
+    #[test]
+    fn mul_matches_u128_when_small() {
+        let a = big(0xDEAD_BEEF_CAFE);
+        let b = big(0x1234_5678_9ABC);
+        assert_eq!(a.mul(&b).to_u128(), Some(0xDEAD_BEEF_CAFEu128 * 0x1234_5678_9ABC));
+    }
+
+    #[test]
+    fn factorial_100_is_correct() {
+        let mut f = UBig::one();
+        for i in 1..=100u64 {
+            f = f.mul_u64(i);
+        }
+        assert_eq!(
+            f.to_string(),
+            "93326215443944152681699238856266700490715968264381621468592963895217599993229915\
+             608941463976156518286253697920827223758251185210916864000000000000000000000000"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn div_rem_u64_reconstructs() {
+        let mut f = UBig::one();
+        for i in 1..=40u64 {
+            f = f.mul_u64(i);
+        }
+        let (q, r) = f.div_rem_u64(1_000_000_007);
+        assert_eq!(q.mul_u64(1_000_000_007).add(&UBig::from_u64(r)), f);
+    }
+
+    #[test]
+    fn display_zero_and_carries() {
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(big(10u128.pow(19)).to_string(), "10000000000000000000");
+        assert_eq!(big(10u128.pow(38)).to_string(), format!("1{}", "0".repeat(38)));
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(UBig::zero().bits(), 0);
+        assert_eq!(UBig::one().bits(), 1);
+        assert_eq!(big(1u128 << 64).bits(), 65);
+        assert_eq!(big((1u128 << 100) - 1).bits(), 100);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(big(5) < big(6));
+        assert!(big(1u128 << 64) > big(u64::MAX as u128));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ibig_signed_arithmetic() {
+        let a = IBig::from_i64(-5);
+        let b = IBig::from_i64(3);
+        assert_eq!(a.add(&b).to_i64(), Some(-2));
+        assert_eq!(a.sub(&b).to_i64(), Some(-8));
+        assert_eq!(a.mul(&b).to_i64(), Some(-15));
+        assert_eq!(a.mul(&a).to_i64(), Some(25));
+        assert_eq!(a.neg().to_i64(), Some(5));
+        assert!(a < b);
+        assert!(IBig::from_i64(-10) < IBig::from_i64(-9));
+    }
+
+    #[test]
+    fn ibig_zero_is_canonical() {
+        let z = IBig::from_i64(3).sub(&IBig::from_i64(3));
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+        assert_eq!(z, IBig::zero());
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    fn ibig_rem_euclid() {
+        assert_eq!(IBig::from_i64(-1).rem_euclid_u64(7), 6);
+        assert_eq!(IBig::from_i64(-14).rem_euclid_u64(7), 0);
+        assert_eq!(IBig::from_i64(15).rem_euclid_u64(7), 1);
+    }
+
+    #[test]
+    fn ibig_div_exact() {
+        let v = IBig::from_i64(-42);
+        assert_eq!(v.div_exact_u64(6).to_i64(), Some(-7));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exact")]
+    fn ibig_div_exact_panics_on_remainder() {
+        let _ = IBig::from_i64(-43).div_exact_u64(6);
+    }
+
+    #[test]
+    fn i64_boundaries() {
+        assert_eq!(IBig::from_i64(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(IBig::from_i64(i64::MAX).to_i64(), Some(i64::MAX));
+        let too_big = IBig::from_parts(false, big(1u128 << 63));
+        assert_eq!(too_big.to_i64(), None);
+        assert_eq!(too_big.to_i128(), Some(1i128 << 63));
+    }
+}

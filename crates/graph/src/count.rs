@@ -1,0 +1,270 @@
+//! Sequential reference counting algorithms.
+//!
+//! These are the *ground truth* oracles the Camelot algorithms are tested
+//! against, and several double as the paper's sequential baselines:
+//! brute-force clique enumeration, bitset triangle counting, the
+//! independent-set subset DP used by the Björklund–Husfeldt–Koivisto
+//! machinery, and inclusion–exclusion Hamiltonian cycle counting.
+
+use crate::graph::Graph;
+
+/// Counts `k`-cliques by pruned enumeration (exponential; ground truth for
+/// tests and for Theorem 1/2 validation).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn count_k_cliques(g: &Graph, k: usize) -> u64 {
+    assert!(k > 0, "k must be positive");
+    let n = g.vertex_count();
+    if k > n {
+        return 0;
+    }
+    fn rec(g: &Graph, k_left: usize, candidates: u64, min_vertex: usize) -> u64 {
+        if k_left == 0 {
+            return 1;
+        }
+        if min_vertex >= 64 {
+            return 0;
+        }
+        let mut count = 0;
+        let mut rest = candidates >> min_vertex << min_vertex;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            count += rec(g, k_left - 1, candidates & g.neighbors(v), v + 1);
+        }
+        count
+    }
+    rec(g, k, g.full_mask(), 0)
+}
+
+/// Counts triangles with bitset intersections — `O(n m / 64)`; ground
+/// truth for §6.
+#[must_use]
+pub fn count_triangles(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for &(u, v) in g.edges() {
+        // Common neighbors above v keep each triangle counted once
+        // (edges store u < v).
+        let above = if v >= 63 { 0 } else { !((1u64 << (v + 1)) - 1) };
+        let common = g.neighbors(u) & g.neighbors(v) & above;
+        count += u64::from(common.count_ones());
+    }
+    count
+}
+
+/// `i(S)`: number of independent sets contained in each vertex subset `S`,
+/// for all `2^n` subsets, via the standard DP
+/// `i(S) = i(S \ v) + i(S \ (N(v) ∪ v))`.
+///
+/// The empty set counts, so `i(∅) = 1`. This is the engine of the
+/// `O*(2^n)` sequential chromatic-polynomial baseline [BHK, SIAM J.
+/// Comput. 39 (2009)] the paper's Theorem 6 halves the exponent of.
+///
+/// # Panics
+///
+/// Panics if `n > 26` (the table would not fit in memory).
+#[must_use]
+pub fn independent_set_table(g: &Graph) -> Vec<u64> {
+    let n = g.vertex_count();
+    assert!(n <= 26, "independent-set table limited to n <= 26");
+    let mut table = vec![0u64; 1 << n];
+    table[0] = 1;
+    for s in 1usize..1 << n {
+        let v = s.trailing_zeros() as usize;
+        let without = s & !(1 << v);
+        let shrunk = without & !(g.neighbors(v) as usize);
+        table[s] = table[without] + table[shrunk];
+    }
+    table
+}
+
+/// Counts Hamiltonian cycles of an undirected graph by Karp-style
+/// inclusion–exclusion over vertex subsets in `O(2^n n^2)` — each cycle
+/// counted once (not per orientation or rotation).
+///
+/// Returns 0 for `n < 3`.
+#[must_use]
+pub fn count_hamiltonian_cycles(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    if n < 3 {
+        return 0;
+    }
+    assert!(n <= 24, "inclusion-exclusion Hamiltonicity limited to n <= 24");
+    // Count closed walks of length n from vertex 0 that stay inside
+    // S ∪ {0}, for every S ⊆ {1..n-1}; inclusion-exclusion leaves exactly
+    // the walks visiting every vertex, i.e. directed Hamiltonian cycles
+    // based at 0. Each undirected cycle is counted twice (two directions).
+    let mut total: i128 = 0;
+    let full = (1usize << (n - 1)) - 1; // subsets of {1..n-1}
+    for s in 0..=full {
+        let mask = (s << 1) | 1; // include vertex 0
+        // walks[v] = number of walks 0 -> v of current length inside mask
+        let mut walks = vec![0i128; n];
+        walks[0] = 1;
+        for _ in 0..n - 1 {
+            let mut next = vec![0i128; n];
+            for v in 0..n {
+                if walks[v] == 0 {
+                    continue;
+                }
+                let mut nb = g.neighbors(v) & mask as u64;
+                while nb != 0 {
+                    let w = nb.trailing_zeros() as usize;
+                    nb &= nb - 1;
+                    next[w] += walks[v];
+                }
+            }
+            walks = next;
+        }
+        // close the walk back to 0
+        let mut closed = 0i128;
+        let mut nb = g.neighbors(0) & mask as u64;
+        while nb != 0 {
+            let w = nb.trailing_zeros() as usize;
+            nb &= nb - 1;
+            closed += walks[w];
+        }
+        let sign = if (n - 1 - (s as u32).count_ones() as usize).is_multiple_of(2) { 1 } else { -1 };
+        total += sign * closed;
+    }
+    debug_assert!(total >= 0 && total % 2 == 0, "directed count must be even, got {total}");
+    (total / 2) as u64
+}
+
+/// Brute-force Hamiltonian cycle count by permutation enumeration
+/// (factorial; only for cross-validating the inclusion–exclusion oracle).
+#[must_use]
+pub fn count_hamiltonian_cycles_brute(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    if n < 3 {
+        return 0;
+    }
+    assert!(n <= 10, "brute-force Hamiltonicity limited to n <= 10");
+    let mut perm: Vec<usize> = (1..n).collect();
+    let mut count = 0u64;
+    permute(&mut perm, 0, &mut |p| {
+        // cycle 0 -> p[0] -> ... -> p[n-2] -> 0; dedupe direction by
+        // requiring p[0] < p[n-2]
+        if p[0] > p[p.len() - 1] {
+            return;
+        }
+        if !g.has_edge(0, p[0]) || !g.has_edge(p[p.len() - 1], 0) {
+            return;
+        }
+        if p.windows(2).all(|w| g.has_edge(w[0], w[1])) {
+            count += 1;
+        }
+    });
+    count
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn clique_counts_on_complete_graphs() {
+        // C(n, k) cliques of size k in K_n.
+        let g = gen::complete(8);
+        assert_eq!(count_k_cliques(&g, 1), 8);
+        assert_eq!(count_k_cliques(&g, 2), 28);
+        assert_eq!(count_k_cliques(&g, 3), 56);
+        assert_eq!(count_k_cliques(&g, 6), 28);
+        assert_eq!(count_k_cliques(&g, 8), 1);
+        assert_eq!(count_k_cliques(&g, 9), 0);
+    }
+
+    #[test]
+    fn clique_counts_structured() {
+        assert_eq!(count_k_cliques(&gen::cycle(6), 3), 0);
+        assert_eq!(count_k_cliques(&gen::cycle(3), 3), 1);
+        assert_eq!(count_k_cliques(&gen::complete_bipartite(4, 4), 3), 0);
+        assert_eq!(count_k_cliques(&gen::petersen(), 2), 15);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(count_triangles(&gen::complete(4)), 4);
+        assert_eq!(count_triangles(&gen::complete(10)), 120);
+        assert_eq!(count_triangles(&gen::petersen()), 0);
+        assert_eq!(count_triangles(&gen::cycle(3)), 1);
+        assert_eq!(count_triangles(&gen::cycle(5)), 0);
+        assert_eq!(count_triangles(&gen::star(9)), 0);
+    }
+
+    #[test]
+    fn triangles_match_cliques_random() {
+        for seed in 0..5 {
+            let g = gen::gnm(14, 40, seed);
+            assert_eq!(count_triangles(&g), count_k_cliques(&g, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn independent_set_table_small() {
+        // Path 0-1-2: independent sets: {}, {0}, {1}, {2}, {0,2} -> 5.
+        let g = gen::path(3);
+        let table = independent_set_table(&g);
+        assert_eq!(table[0b111], 5);
+        assert_eq!(table[0b011], 3); // {}, {0}, {1}
+        assert_eq!(table[0b101], 4); // {}, {0}, {2}, {0,2}
+        // Triangle: 4 independent subsets of the full set.
+        let t = independent_set_table(&gen::complete(3));
+        assert_eq!(t[0b111], 4);
+    }
+
+    #[test]
+    fn independent_set_table_matches_enumeration() {
+        let g = gen::gnm(10, 20, 3);
+        let table = independent_set_table(&g);
+        for s in [0usize, 0b1, 0b1010101010, 0b1111111111] {
+            let mut expect = 0u64;
+            for sub in 0..=s {
+                if sub & s == sub && g.is_independent(sub as u64) {
+                    expect += 1;
+                }
+            }
+            assert_eq!(table[s], expect, "subset {s:b}");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_cycles_known_values() {
+        assert_eq!(count_hamiltonian_cycles(&gen::cycle(5)), 1);
+        assert_eq!(count_hamiltonian_cycles(&gen::complete(4)), 3);
+        assert_eq!(count_hamiltonian_cycles(&gen::complete(5)), 12);
+        // (n-1)!/2 for K_n
+        assert_eq!(count_hamiltonian_cycles(&gen::complete(6)), 60);
+        assert_eq!(count_hamiltonian_cycles(&gen::petersen()), 0);
+        assert_eq!(count_hamiltonian_cycles(&gen::path(5)), 0);
+        assert_eq!(count_hamiltonian_cycles(&gen::star(4)), 0);
+    }
+
+    #[test]
+    fn hamiltonian_ie_matches_brute() {
+        for seed in 0..6 {
+            let g = gen::gnm(8, 16, seed);
+            assert_eq!(
+                count_hamiltonian_cycles(&g),
+                count_hamiltonian_cycles_brute(&g),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic graph generators for workloads and tests.
+//!
+//! The paper's theorems are quantified over all graphs; the experiment
+//! harness exercises them on classic families (complete graphs for dense
+//! extremes, `G(n, m)` for sparsity sweeps in Theorems 3–5, structured
+//! graphs as sanity anchors). Generators are seeded and deterministic so
+//! every Camelot node — and every rerun of an experiment — sees the same
+//! common input.
+
+use crate::graph::Graph;
+use camelot_ff::{RngLike, SplitMix64};
+
+/// Complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Cycle `C_n` (empty for `n < 3`).
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    if n >= 3 {
+        for u in 0..n {
+            g.add_edge(u, (u + 1) % n);
+        }
+    }
+    g
+}
+
+/// Path `P_n`.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(u - 1, u);
+    }
+    g
+}
+
+/// Star `K_{1,n-1}` centred at vertex 0.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 1..n {
+        g.add_edge(0, u);
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in 0..b {
+            g.add_edge(u, a + v);
+        }
+    }
+    g
+}
+
+/// The Petersen graph — a classic 10-vertex sanity anchor with known
+/// invariants (triangle-free, 3-regular, exactly 120 proper 3-colorings).
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for u in 0..5 {
+        g.add_edge(u, (u + 1) % 5); // outer cycle
+        g.add_edge(5 + u, 5 + (u + 2) % 5); // inner pentagram
+        g.add_edge(u, 5 + u); // spokes
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` with `p` in parts per 2^32, deterministic in the
+/// seed.
+#[must_use]
+pub fn gnp(n: usize, p_num: u32, seed: u64) -> Graph {
+    let mut rng = SplitMix64::new(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if (rng.next_u64() >> 32) as u32 <= p_num {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Uniform random graph with exactly `m` edges (`G(n, m)`).
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n(n-1)/2`.
+#[must_use]
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "requested {m} edges but K_{n} has only {max}");
+    let mut rng = SplitMix64::new(seed);
+    let mut g = Graph::new(n);
+    let mut added = 0;
+    while added < m {
+        let u = (rng.next_u64() % n as u64) as usize;
+        let v = (rng.next_u64() % n as u64) as usize;
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+            added += 1;
+        }
+    }
+    g
+}
+
+/// `G(n, m)` with a planted clique on the first `k` vertices (useful for
+/// k-clique counting workloads where random graphs would be barren).
+///
+/// # Panics
+///
+/// Panics if the total edge budget exceeds the complete graph.
+#[must_use]
+pub fn planted_clique(n: usize, m_extra: usize, k: usize, seed: u64) -> Graph {
+    let mut g = complete(k).pad_vertices(n);
+    let mut rng = SplitMix64::new(seed);
+    let mut added = 0;
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(k * (k - 1) / 2 + m_extra <= max, "edge budget exceeds K_n");
+    while added < m_extra {
+        let u = (rng.next_u64() % n as u64) as usize;
+        let v = (rng.next_u64() % n as u64) as usize;
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+            added += 1;
+        }
+    }
+    g
+}
+
+impl Graph {
+    /// Re-embeds the graph into a larger vertex set (extra vertices are
+    /// isolated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current vertex count.
+    #[must_use]
+    pub fn pad_vertices(&self, n: usize) -> Graph {
+        assert!(n >= self.vertex_count(), "cannot shrink a graph");
+        Graph::from_edges(n, self.edges().iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.is_clique(g.full_mask()));
+    }
+
+    #[test]
+    fn cycle_and_path_degrees() {
+        let c = cycle(5);
+        assert!(c.is_connected());
+        assert!((0..5).all(|u| c.degree(u) == 2));
+        let p = path(5);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(2), 2);
+        assert_eq!(p.edge_count(), 4);
+        assert!(cycle(2).edge_count() == 0, "degenerate cycles are empty");
+    }
+
+    #[test]
+    fn star_is_a_tree() {
+        let s = star(7);
+        assert_eq!(s.edge_count(), 6);
+        assert!(s.is_connected());
+        assert_eq!(s.degree(0), 6);
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.edge_count(), 12);
+        for u in 0..7 {
+            for v in u + 1..7 {
+                for w in v + 1..7 {
+                    assert!(!(g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn petersen_shape() {
+        let g = petersen();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!((0..10).all(|u| g.degree(u) == 3));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn gnm_exact_edge_count_and_determinism() {
+        let a = gnm(20, 50, 42);
+        let b = gnm(20, 50, 42);
+        let c = gnm(20, 50, 43);
+        assert_eq!(a.edge_count(), 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, u32::MAX, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn planted_clique_contains_clique() {
+        let g = planted_clique(16, 20, 6, 7);
+        assert!(g.is_clique(0b111111));
+        assert_eq!(g.edge_count(), 15 + 20);
+    }
+
+    #[test]
+    fn pad_keeps_edges() {
+        let g = cycle(4).pad_vertices(9);
+        assert_eq!(g.vertex_count(), 9);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(8), 0);
+    }
+}

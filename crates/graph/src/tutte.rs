@@ -1,0 +1,316 @@
+//! Sequential Tutte-polynomial baselines.
+//!
+//! §10 of the paper computes the Tutte polynomial through the partition
+//! function of the Potts model (Fortuin–Kasteleyn):
+//!
+//! ```text
+//! Z_G(t, r) = Σ_{F ⊆ E} t^{c(F)} Π_{e ∈ F} r_e ,
+//! T_G(x, y) = (x-1)^{-c(E)} (y-1)^{-|V|} Z_G(t, r),  t = (x-1)(y-1), r = y-1.
+//! ```
+//!
+//! This module provides the two ground-truth oracles: direct edge-subset
+//! summation of `Z_G` (exponential in `m`) and the classical
+//! deletion–contraction recursion for the Tutte coefficients.
+
+use crate::graph::{Dsu, MultiGraph};
+use camelot_ff::PrimeField;
+
+/// `Z_G(t, r) mod q` by brute-force summation over all `2^m` edge subsets.
+///
+/// # Panics
+///
+/// Panics if the multigraph has more than 24 edges.
+#[must_use]
+pub fn potts_value_mod(g: &MultiGraph, t: u64, r: u64, field: &PrimeField) -> u64 {
+    let m = g.edge_count();
+    assert!(m <= 24, "brute-force Potts limited to m <= 24 edges");
+    let n = g.vertex_count();
+    let (t, r) = (field.reduce(t), field.reduce(r));
+    let mut acc = 0u64;
+    for subset in 0u32..1 << m {
+        let mut dsu = Dsu::new(n);
+        for (i, &(u, v)) in g.edges().iter().enumerate() {
+            if subset >> i & 1 == 1 {
+                dsu.union(u, v);
+            }
+        }
+        let term = field.mul(
+            field.pow(t, dsu.component_count() as u64),
+            field.pow(r, u64::from(subset.count_ones())),
+        );
+        acc = field.add(acc, term);
+    }
+    acc
+}
+
+/// Tutte polynomial coefficients `T_G(x, y) = Σ t_{ij} x^i y^j` as a dense
+/// `(i, j)`-indexed table, by deletion–contraction.
+///
+/// Coefficients of the Tutte polynomial are non-negative and bounded by
+/// `2^m`, so `u128` is ample for the graphs this oracle serves.
+///
+/// # Panics
+///
+/// Panics if the multigraph has more than 24 edges (recursion blows up).
+#[must_use]
+pub fn tutte_coefficients(g: &MultiGraph) -> Vec<Vec<u128>> {
+    assert!(g.edge_count() <= 24, "deletion-contraction limited to m <= 24");
+    let poly = del_con(g.vertex_count(), g.edges().to_vec());
+    poly.table
+}
+
+/// Evaluates a coefficient table at `(x, y)` modulo `q`.
+#[must_use]
+pub fn eval_tutte_mod(coeffs: &[Vec<u128>], x: u64, y: u64, field: &PrimeField) -> u64 {
+    let mut acc = 0u64;
+    for (i, row) in coeffs.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            let term = field.mul(
+                field.reduce_u128(c),
+                field.mul(field.pow(field.reduce(x), i as u64), field.pow(field.reduce(y), j as u64)),
+            );
+            acc = field.add(acc, term);
+        }
+    }
+    acc
+}
+
+/// Dense bivariate polynomial with `u128` coefficients, `table[i][j]` the
+/// coefficient of `x^i y^j`.
+struct BiPoly {
+    table: Vec<Vec<u128>>,
+}
+
+impl BiPoly {
+    fn constant(c: u128) -> Self {
+        BiPoly { table: vec![vec![c]] }
+    }
+
+    fn add(mut self, other: BiPoly) -> BiPoly {
+        let rows = self.table.len().max(other.table.len());
+        let cols = self
+            .table
+            .iter()
+            .chain(&other.table)
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0);
+        self.table.resize(rows, Vec::new());
+        for row in &mut self.table {
+            row.resize(cols, 0);
+        }
+        for (i, row) in other.table.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                self.table[i][j] += c;
+            }
+        }
+        self
+    }
+
+    fn mul_x(mut self) -> BiPoly {
+        self.table.insert(0, vec![0; self.table.first().map_or(0, Vec::len)]);
+        BiPoly { table: self.table }
+    }
+
+    fn mul_y(mut self) -> BiPoly {
+        for row in &mut self.table {
+            row.insert(0, 0);
+        }
+        BiPoly { table: self.table }
+    }
+}
+
+/// Deletion–contraction on an explicit edge list.
+fn del_con(n: usize, edges: Vec<(usize, usize)>) -> BiPoly {
+    // Find the first non-loop edge; loops contribute a factor y each.
+    match edges.iter().position(|&(u, v)| u != v) {
+        None => {
+            // Only loops remain: T = y^{#loops}.
+            let mut p = BiPoly::constant(1);
+            for _ in 0..edges.len() {
+                p = p.mul_y();
+            }
+            p
+        }
+        Some(idx) => {
+            let (u, v) = edges[idx];
+            let mut rest: Vec<(usize, usize)> = edges;
+            rest.remove(idx);
+            if is_bridge(n, &rest, u, v) {
+                // Bridge: T = x * T(G / e).
+                contract(n, &rest, u, v).mul_x()
+            } else {
+                // T = T(G - e) + T(G / e).
+                let deleted = del_con(n, rest.clone());
+                let contracted = contract(n, &rest, u, v);
+                deleted.add(contracted)
+            }
+        }
+    }
+}
+
+/// True if `{u, v}` would be a bridge given the remaining edges (i.e. no
+/// alternative path connects `u` and `v`).
+fn is_bridge(n: usize, rest: &[(usize, usize)], u: usize, v: usize) -> bool {
+    let mut dsu = Dsu::new(n);
+    for &(a, b) in rest {
+        dsu.union(a, b);
+    }
+    dsu.find(u) != dsu.find(v)
+}
+
+/// Contracts `{u, v}` (merging `v` into `u`) and recurses.
+fn contract(n: usize, rest: &[(usize, usize)], u: usize, v: usize) -> BiPoly {
+    let relabel = |w: usize| if w == v { u } else { w };
+    let edges: Vec<(usize, usize)> = rest
+        .iter()
+        .map(|&(a, b)| {
+            let (a, b) = (relabel(a), relabel(b));
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    del_con(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::MultiGraph;
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    fn coeff(t: &[Vec<u128>], i: usize, j: usize) -> u128 {
+        t.get(i).and_then(|r| r.get(j)).copied().unwrap_or(0)
+    }
+
+    #[test]
+    fn triangle_tutte() {
+        // T_{K3} = x^2 + x + y
+        let t = tutte_coefficients(&MultiGraph::from_graph(&gen::complete(3)));
+        assert_eq!(coeff(&t, 2, 0), 1);
+        assert_eq!(coeff(&t, 1, 0), 1);
+        assert_eq!(coeff(&t, 0, 1), 1);
+        assert_eq!(t.iter().flatten().sum::<u128>(), 3);
+    }
+
+    #[test]
+    fn k4_tutte() {
+        // T_{K4} = x^3 + 3x^2 + 2x + 4xy + 2y + 3y^2 + y^3
+        let t = tutte_coefficients(&MultiGraph::from_graph(&gen::complete(4)));
+        assert_eq!(coeff(&t, 3, 0), 1);
+        assert_eq!(coeff(&t, 2, 0), 3);
+        assert_eq!(coeff(&t, 1, 0), 2);
+        assert_eq!(coeff(&t, 1, 1), 4);
+        assert_eq!(coeff(&t, 0, 1), 2);
+        assert_eq!(coeff(&t, 0, 2), 3);
+        assert_eq!(coeff(&t, 0, 3), 1);
+    }
+
+    #[test]
+    fn loops_and_bridges() {
+        // Single loop: T = y. Single bridge: T = x. Loop + bridge: xy.
+        let loop_g = MultiGraph::from_edges(1, [(0, 0)]);
+        assert_eq!(coeff(&tutte_coefficients(&loop_g), 0, 1), 1);
+        let bridge = MultiGraph::from_edges(2, [(0, 1)]);
+        assert_eq!(coeff(&tutte_coefficients(&bridge), 1, 0), 1);
+        let both = MultiGraph::from_edges(2, [(0, 1), (1, 1)]);
+        assert_eq!(coeff(&tutte_coefficients(&both), 1, 1), 1);
+        // Two parallel edges (a digon): T = x + y.
+        let digon = MultiGraph::from_edges(2, [(0, 1), (0, 1)]);
+        let t = tutte_coefficients(&digon);
+        assert_eq!(coeff(&t, 1, 0), 1);
+        assert_eq!(coeff(&t, 0, 1), 1);
+    }
+
+    #[test]
+    fn specializations_count_subgraphs() {
+        let field = f();
+        for g in [gen::cycle(5), gen::complete(4), gen::gnm(6, 9, 1)] {
+            let mg = MultiGraph::from_graph(&g);
+            let t = tutte_coefficients(&mg);
+            // T(2,2) = 2^m for connected G.
+            assert_eq!(
+                eval_tutte_mod(&t, 2, 2, &field),
+                field.pow(2, mg.edge_count() as u64)
+            );
+            // T(1,1) = number of spanning trees (via Potts cross-check below).
+            // T(2,1) = number of spanning forests.
+            let forests = eval_tutte_mod(&t, 2, 1, &field);
+            let mut brute = 0u64;
+            for subset in 0u32..1 << mg.edge_count() {
+                let mut dsu = Dsu::new(mg.vertex_count());
+                let mut acyclic = true;
+                for (i, &(u, v)) in mg.edges().iter().enumerate() {
+                    if subset >> i & 1 == 1 && !dsu.union(u, v) {
+                        acyclic = false;
+                        break;
+                    }
+                }
+                brute += u64::from(acyclic);
+            }
+            assert_eq!(forests, brute, "spanning forests of {g}");
+        }
+    }
+
+    #[test]
+    fn fortuin_kasteleyn_consistency() {
+        // Z_G(t, r) = (x-1)^{c(E)} (y-1)^{|V|} T(x, y) with
+        // t = (x-1)(y-1), r = y-1 — check at several integer (x, y).
+        let field = f();
+        for g in [gen::cycle(4), gen::complete(4), gen::gnm(5, 7, 2)] {
+            let mg = MultiGraph::from_graph(&g);
+            let coeffs = tutte_coefficients(&mg);
+            let c_e = mg.component_count() as u64;
+            for (x, y) in [(2u64, 2u64), (3, 2), (2, 3), (4, 5), (3, 3)] {
+                let t = (x - 1) * (y - 1);
+                let r = y - 1;
+                let lhs = potts_value_mod(&mg, t, r, &field);
+                let rhs = field.mul(
+                    field.mul(
+                        field.pow(x - 1, c_e),
+                        field.pow(y - 1, mg.vertex_count() as u64),
+                    ),
+                    eval_tutte_mod(&coeffs, x, y, &field),
+                );
+                assert_eq!(lhs, rhs, "graph {g}, (x,y)=({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn chromatic_from_tutte() {
+        // χ_G(t) = (-1)^{n - c} t^c T(1 - t, 0) — check against the
+        // chromatic oracle at small integer t via mod-q arithmetic.
+        let field = f();
+        for g in [gen::cycle(5), gen::petersen()] {
+            let mg = MultiGraph::from_graph(&g);
+            let coeffs = tutte_coefficients(&mg);
+            let n = g.vertex_count() as u64;
+            let c = mg.component_count() as u64;
+            for t in 2..=4u64 {
+                let x = field.from_i64(1 - t as i64);
+                let t_val = eval_tutte_mod(&coeffs, x, 0, &field);
+                let mut rhs = field.mul(field.pow(t, c), t_val);
+                if (n - c) % 2 == 1 {
+                    rhs = field.neg(rhs);
+                }
+                assert_eq!(
+                    crate::chromatic::chromatic_value_mod(&g, t, &field),
+                    rhs,
+                    "graph {g}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potts_on_empty_and_edgeless() {
+        let field = f();
+        let empty = MultiGraph::new(3);
+        // Z = t^3 (single empty subset, 3 components).
+        assert_eq!(potts_value_mod(&empty, 5, 7, &field), 125);
+    }
+}

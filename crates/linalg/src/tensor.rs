@@ -1,0 +1,327 @@
+//! Trilinear decompositions of the matrix-multiplication tensor.
+//!
+//! Identity (10) of the paper: ring elements `α_{de}(r)`, `β_{ef}(r)`,
+//! `γ_{df}(r)` for `r = 1..R` satisfying
+//!
+//! ```text
+//! Σ_{d,e,f} u_{de} v_{ef} w_{df}
+//!   = Σ_r (Σ_{d,e'} α_{de'}(r) u_{de'})
+//!         (Σ_{e,f'} β_{ef'}(r) v_{ef'})
+//!         (Σ_{d',f} γ_{d'f}(r) w_{d'f}) .
+//! ```
+//!
+//! Any bilinear algorithm for `⟨n0,n0,n0⟩` of rank `R0` yields such a
+//! decomposition, and Kronecker powers give `⟨n0^t, n0^t, n0^t⟩` with rank
+//! `R0^t` — this closure property (§5.3, §6.2) is what lets the per-node
+//! evaluation algorithms run Yates's algorithm over the coefficient
+//! matrices. We ship the naive rank-`n0³` decomposition and Strassen's
+//! rank-7 `⟨2,2,2⟩` (so `ω = log2 7`).
+
+use crate::yates::SmallMatrix;
+
+/// A rank-`R0` trilinear decomposition of the `⟨n0, n0, n0⟩` matrix
+/// multiplication tensor with integer coefficients.
+///
+/// Coefficient layout: `alpha0` is an `n0² × R0` integer matrix whose row
+/// index is the pair `(d, e)` flattened as `d * n0 + e` and whose column
+/// index is `r` — exactly the orientation Yates's algorithm consumes in
+/// §5.3 of the paper. Likewise `beta0` for `(e, f)` and `gamma0` for
+/// `(d, f)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatMulTensor {
+    n0: usize,
+    r0: usize,
+    alpha0: SmallMatrix,
+    beta0: SmallMatrix,
+    gamma0: SmallMatrix,
+}
+
+impl MatMulTensor {
+    /// The trivial rank-`n0³` decomposition (one term per scalar product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n0 == 0`.
+    #[must_use]
+    pub fn naive(n0: usize) -> Self {
+        assert!(n0 > 0, "tensor order must be positive");
+        let r0 = n0 * n0 * n0;
+        let mut alpha = vec![0i64; n0 * n0 * r0];
+        let mut beta = vec![0i64; n0 * n0 * r0];
+        let mut gamma = vec![0i64; n0 * n0 * r0];
+        let mut r = 0;
+        for d in 0..n0 {
+            for e in 0..n0 {
+                for f in 0..n0 {
+                    alpha[(d * n0 + e) * r0 + r] = 1;
+                    beta[(e * n0 + f) * r0 + r] = 1;
+                    gamma[(d * n0 + f) * r0 + r] = 1;
+                    r += 1;
+                }
+            }
+        }
+        MatMulTensor {
+            n0,
+            r0,
+            alpha0: SmallMatrix::new(n0 * n0, r0, alpha),
+            beta0: SmallMatrix::new(n0 * n0, r0, beta),
+            gamma0: SmallMatrix::new(n0 * n0, r0, gamma),
+        }
+    }
+
+    /// Strassen's rank-7 decomposition of `⟨2, 2, 2⟩`.
+    ///
+    /// With `M_r = (Σ α_{de}(r) u_{de})(Σ β_{ef}(r) v_{ef})` the products
+    /// are Strassen's `M1..M7`, and `gamma0` encodes how each output entry
+    /// `c_{df}` combines them.
+    #[must_use]
+    pub fn strassen() -> Self {
+        // Index pairs flattened as (row, col) -> row * 2 + col, 1-based
+        // Strassen in comments, 0-based in code.
+        // M1 = (A00 + A11)(B00 + B11)
+        // M2 = (A10 + A11) B00
+        // M3 = A00 (B01 - B11)
+        // M4 = A11 (B10 - B00)
+        // M5 = (A00 + A01) B11
+        // M6 = (A10 - A00)(B00 + B01)
+        // M7 = (A01 - A11)(B10 + B11)
+        // C00 = M1 + M4 - M5 + M7
+        // C01 = M3 + M5
+        // C10 = M2 + M4
+        // C11 = M1 - M2 + M3 + M6
+        let r0 = 7;
+        let mut alpha = vec![0i64; 4 * r0];
+        let mut beta = vec![0i64; 4 * r0];
+        let mut gamma = vec![0i64; 4 * r0];
+        let set = |m: &mut Vec<i64>, pair: usize, r: usize, v: i64| m[pair * r0 + r] = v;
+        // alpha: rows (d,e) of A
+        set(&mut alpha, 0b00, 0, 1);
+        set(&mut alpha, 0b11, 0, 1);
+        set(&mut alpha, 0b10, 1, 1);
+        set(&mut alpha, 0b11, 1, 1);
+        set(&mut alpha, 0b00, 2, 1);
+        set(&mut alpha, 0b11, 3, 1);
+        set(&mut alpha, 0b00, 4, 1);
+        set(&mut alpha, 0b01, 4, 1);
+        set(&mut alpha, 0b10, 5, 1);
+        set(&mut alpha, 0b00, 5, -1);
+        set(&mut alpha, 0b01, 6, 1);
+        set(&mut alpha, 0b11, 6, -1);
+        // beta: rows (e,f) of B
+        set(&mut beta, 0b00, 0, 1);
+        set(&mut beta, 0b11, 0, 1);
+        set(&mut beta, 0b00, 1, 1);
+        set(&mut beta, 0b01, 2, 1);
+        set(&mut beta, 0b11, 2, -1);
+        set(&mut beta, 0b10, 3, 1);
+        set(&mut beta, 0b00, 3, -1);
+        set(&mut beta, 0b11, 4, 1);
+        set(&mut beta, 0b00, 5, 1);
+        set(&mut beta, 0b01, 5, 1);
+        set(&mut beta, 0b10, 6, 1);
+        set(&mut beta, 0b11, 6, 1);
+        // gamma: rows (d,f) of C
+        set(&mut gamma, 0b00, 0, 1);
+        set(&mut gamma, 0b00, 3, 1);
+        set(&mut gamma, 0b00, 4, -1);
+        set(&mut gamma, 0b00, 6, 1);
+        set(&mut gamma, 0b01, 2, 1);
+        set(&mut gamma, 0b01, 4, 1);
+        set(&mut gamma, 0b10, 1, 1);
+        set(&mut gamma, 0b10, 3, 1);
+        set(&mut gamma, 0b11, 0, 1);
+        set(&mut gamma, 0b11, 1, -1);
+        set(&mut gamma, 0b11, 2, 1);
+        set(&mut gamma, 0b11, 5, 1);
+        MatMulTensor {
+            n0: 2,
+            r0,
+            alpha0: SmallMatrix::new(4, r0, alpha),
+            beta0: SmallMatrix::new(4, r0, beta),
+            gamma0: SmallMatrix::new(4, r0, gamma),
+        }
+    }
+
+    /// Base matrix dimension `n0`.
+    #[must_use]
+    pub fn n0(&self) -> usize {
+        self.n0
+    }
+
+    /// Base rank `R0`.
+    #[must_use]
+    pub fn r0(&self) -> usize {
+        self.r0
+    }
+
+    /// The `n0² × R0` coefficient matrix for the `u` operand.
+    #[must_use]
+    pub fn alpha0(&self) -> &SmallMatrix {
+        &self.alpha0
+    }
+
+    /// The `n0² × R0` coefficient matrix for the `v` operand.
+    #[must_use]
+    pub fn beta0(&self) -> &SmallMatrix {
+        &self.beta0
+    }
+
+    /// The `n0² × R0` coefficient matrix for the `w` operand.
+    #[must_use]
+    pub fn gamma0(&self) -> &SmallMatrix {
+        &self.gamma0
+    }
+
+    /// Effective matrix-multiplication exponent `log_{n0} R0` of this
+    /// decomposition (2.807… for Strassen, 3 for naive).
+    #[must_use]
+    pub fn omega(&self) -> f64 {
+        (self.r0 as f64).ln() / (self.n0 as f64).ln()
+    }
+
+    /// Kronecker coefficient `α_{de}(r)` for the `t`-fold power, where
+    /// `d, e ∈ [n0^t]` and `r ∈ [R0^t]` (0-based), as a plain integer.
+    ///
+    /// Digits of `d`, `e` in base `n0` and of `r` in base `R0` are paired
+    /// most-significant-first; the coefficient is the product of base
+    /// coefficients (equation (17) of the paper).
+    #[must_use]
+    pub fn alpha_power(&self, t: usize, d: usize, e: usize, r: usize) -> i64 {
+        self.coeff_power(&self.alpha0, t, d, e, r)
+    }
+
+    /// Kronecker coefficient `β_{ef}(r)` for the `t`-fold power.
+    #[must_use]
+    pub fn beta_power(&self, t: usize, e: usize, f: usize, r: usize) -> i64 {
+        self.coeff_power(&self.beta0, t, e, f, r)
+    }
+
+    /// Kronecker coefficient `γ_{df}(r)` for the `t`-fold power.
+    #[must_use]
+    pub fn gamma_power(&self, t: usize, d: usize, f: usize, r: usize) -> i64 {
+        self.coeff_power(&self.gamma0, t, d, f, r)
+    }
+
+    fn coeff_power(&self, m: &SmallMatrix, t: usize, mut a: usize, mut b: usize, mut r: usize) -> i64 {
+        let mut prod = 1i64;
+        for _ in 0..t {
+            let (ad, bd, rd) = (a % self.n0, b % self.n0, r % self.r0);
+            prod *= m.get(ad * self.n0 + bd, rd);
+            a /= self.n0;
+            b /= self.n0;
+            r /= self.r0;
+        }
+        debug_assert_eq!(a, 0, "index out of range for power {t}");
+        debug_assert_eq!(b, 0, "index out of range for power {t}");
+        debug_assert_eq!(r, 0, "rank index out of range for power {t}");
+        prod
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{PrimeField, RngLike, SplitMix64};
+
+    /// Checks identity (10) exhaustively over random `u, v, w`.
+    fn check_identity(tensor: &MatMulTensor, t: usize, seed: u64) {
+        let field = PrimeField::new(1_000_000_007).unwrap();
+        let n = tensor.n0().pow(t as u32);
+        let r_total = tensor.r0().pow(t as u32);
+        let mut rng = SplitMix64::new(seed);
+        let mut sample =
+            || (0..n * n).map(|_| rng.next_u64() % field.modulus()).collect::<Vec<u64>>();
+        let (u, v, w) = (sample(), sample(), sample());
+        // Left side: Σ u_de v_ef w_df.
+        let mut lhs = 0u64;
+        for d in 0..n {
+            for e in 0..n {
+                for f_ in 0..n {
+                    let p = field.mul(field.mul(u[d * n + e], v[e * n + f_]), w[d * n + f_]);
+                    lhs = field.add(lhs, p);
+                }
+            }
+        }
+        // Right side: Σ_r A_r B_r C_r.
+        let mut rhs = 0u64;
+        for r in 0..r_total {
+            let mut ar = 0u64;
+            let mut br = 0u64;
+            let mut cr = 0u64;
+            for a in 0..n {
+                for b in 0..n {
+                    let ca = field.from_i64(tensor.alpha_power(t, a, b, r));
+                    let cb = field.from_i64(tensor.beta_power(t, a, b, r));
+                    let cc = field.from_i64(tensor.gamma_power(t, a, b, r));
+                    ar = field.mul_add(ar, ca, u[a * n + b]);
+                    br = field.mul_add(br, cb, v[a * n + b]);
+                    cr = field.mul_add(cr, cc, w[a * n + b]);
+                }
+            }
+            rhs = field.add(rhs, field.mul(field.mul(ar, br), cr));
+        }
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn naive_tensor_identity_n2() {
+        check_identity(&MatMulTensor::naive(2), 1, 1);
+    }
+
+    #[test]
+    fn naive_tensor_identity_n3() {
+        check_identity(&MatMulTensor::naive(3), 1, 2);
+    }
+
+    #[test]
+    fn strassen_identity_base() {
+        check_identity(&MatMulTensor::strassen(), 1, 3);
+    }
+
+    #[test]
+    fn strassen_identity_square() {
+        check_identity(&MatMulTensor::strassen(), 2, 4);
+    }
+
+    #[test]
+    fn strassen_identity_cube() {
+        check_identity(&MatMulTensor::strassen(), 3, 5);
+    }
+
+    #[test]
+    fn kronecker_power_of_naive() {
+        check_identity(&MatMulTensor::naive(2), 2, 6);
+    }
+
+    #[test]
+    fn omega_values() {
+        assert!((MatMulTensor::naive(4).omega() - 3.0).abs() < 1e-12);
+        let w = MatMulTensor::strassen().omega();
+        assert!((w - 2.807).abs() < 0.001, "Strassen omega = {w}");
+    }
+
+    #[test]
+    fn strassen_multiplies_two_by_two() {
+        // Direct check: use the decomposition as a bilinear algorithm.
+        let field = PrimeField::new(97).unwrap();
+        let tensor = MatMulTensor::strassen();
+        let a = [3u64, 5, 7, 11];
+        let b = [13u64, 17, 19, 23];
+        let mut c = [0u64; 4];
+        for r in 0..7 {
+            let mut ar = 0u64;
+            let mut br = 0u64;
+            for p in 0..4 {
+                ar = field.add(ar, field.mul(field.from_i64(tensor.alpha0().get(p, r)), a[p]));
+                br = field.add(br, field.mul(field.from_i64(tensor.beta0().get(p, r)), b[p]));
+            }
+            let m = field.mul(ar, br);
+            for p in 0..4 {
+                let g = field.from_i64(tensor.gamma0().get(p, r));
+                c[p] = field.add(c[p], field.mul(g, m));
+            }
+        }
+        // Expected: [[3,5],[7,11]] * [[13,17],[19,23]] = [[134,166],[300,372]]
+        assert_eq!(c, [134 % 97, 166 % 97, 300 % 97, 372 % 97]);
+    }
+}

@@ -1,0 +1,482 @@
+//! Yates's algorithm and its split/sparse and polynomial extensions (§3).
+//!
+//! Yates's algorithm multiplies an `s^k`-vector by the `t^k × s^k`
+//! Kronecker power `A^{⊗k}` of a small `t × s` matrix in `O((s^{k+1} +
+//! t^{k+1}) k)` operations. The paper's §3.2 *split/sparse* variant
+//! accepts a sparse input (support `D`) and produces the output in
+//! `~t^{k-ℓ}` independent parts of `t^ℓ` entries each — the source of
+//! parallelism in the triangle algorithms — and §3.3 replaces the outer
+//! part index by a polynomial indeterminate `z`, which is what turns the
+//! parallel algorithm into a Camelot proof polynomial.
+
+use camelot_ff::PrimeField;
+use camelot_poly::lagrange_basis_at;
+
+/// A small dense integer matrix (the Kronecker factor `A`).
+///
+/// Entries are plain `i64` so that a single description serves every prime
+/// modulus; they are embedded into a field on use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<i64>,
+}
+
+impl SmallMatrix {
+    /// Creates from row-major entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != rows * cols`.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, entries: Vec<i64>) -> Self {
+        assert_eq!(entries.len(), rows * cols, "entry count must match shape");
+        SmallMatrix { rows, cols, entries }
+    }
+
+    /// Number of rows (`t`, the output radix).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`s`, the input radix).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.entries[i * self.cols + j]
+    }
+
+    /// Transposed copy.
+    #[must_use]
+    pub fn transpose(&self) -> SmallMatrix {
+        let mut entries = vec![0i64; self.entries.len()];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                entries[j * self.rows + i] = self.entries[i * self.cols + j];
+            }
+        }
+        SmallMatrix { rows: self.cols, cols: self.rows, entries }
+    }
+
+    /// Entries embedded into a field.
+    #[must_use]
+    pub fn to_field(&self, field: &PrimeField) -> Vec<u64> {
+        self.entries.iter().map(|&v| field.from_i64(v)).collect()
+    }
+}
+
+/// Classical Yates: computes `y = A^{⊗k} x` (§3.1).
+///
+/// Indices are mixed-radix with the **first** digit most significant:
+/// `x` has length `s^k`, `y` has length `t^k`, and
+/// `y_{i_1 i_2 … i_k} = Σ_j Π_ℓ a_{i_ℓ j_ℓ} x_{j_1 j_2 … j_k}`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != s^k`.
+#[must_use]
+pub fn yates(field: &PrimeField, a: &SmallMatrix, k: usize, x: &[u64]) -> Vec<u64> {
+    let (t, s) = (a.rows(), a.cols());
+    let expected = s.checked_pow(k as u32).expect("s^k overflows usize");
+    assert_eq!(x.len(), expected, "input length must be s^k");
+    let af = a.to_field(field);
+    let mut cur = x.to_vec();
+    // After `level` steps the shape is t^level × s^(k-level); each step
+    // transforms the axis immediately after the already-processed prefix.
+    for level in 0..k {
+        let outer = t.pow(level as u32);
+        let inner = s.pow((k - level - 1) as u32);
+        let mut next = vec![0u64; outer * t * inner];
+        for o in 0..outer {
+            for j in 0..s {
+                let src_base = (o * s + j) * inner;
+                for i in 0..t {
+                    let coeff = af[i * s + j];
+                    if coeff == 0 {
+                        continue;
+                    }
+                    let dst_base = (o * t + i) * inner;
+                    for w in 0..inner {
+                        next[dst_base + w] =
+                            field.mul_add(next[dst_base + w], coeff, cur[src_base + w]);
+                    }
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// Naive reference for `A^{⊗k} x` in `O(s^k t^k k)` (tests/baselines).
+#[must_use]
+pub fn kronecker_apply_naive(field: &PrimeField, a: &SmallMatrix, k: usize, x: &[u64]) -> Vec<u64> {
+    let (t, s) = (a.rows(), a.cols());
+    let in_len = s.pow(k as u32);
+    let out_len = t.pow(k as u32);
+    assert_eq!(x.len(), in_len, "input length must be s^k");
+    let af = a.to_field(field);
+    let mut y = vec![0u64; out_len];
+    for (i, yi) in y.iter_mut().enumerate() {
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0 {
+                continue;
+            }
+            // Product of base-matrix entries over paired digits.
+            let (mut ii, mut jj) = (i, j);
+            let mut coeff = 1u64;
+            for _ in 0..k {
+                coeff = field.mul(coeff, af[(ii % t) * s + (jj % s)]);
+                ii /= t;
+                jj /= s;
+            }
+            *yi = field.mul_add(*yi, coeff, xj);
+        }
+    }
+    y
+}
+
+/// A sparse input vector: `(index, value)` pairs with distinct indices in
+/// `[0, s^k)`.
+pub type SparseVec = Vec<(usize, u64)>;
+
+/// The split/sparse variant of Yates's algorithm (§3.2).
+///
+/// For `y = A^{⊗k} x` with sparse `x`, produces `y` in `t^{k-ℓ}`
+/// independent parts: part `o` (for `o ∈ [0, t^{k-ℓ})`) is the slice of
+/// outputs whose **trailing** `k-ℓ` digits equal `o`, i.e.
+/// `part(o)[p] = y[p * t^{k-ℓ} + o]` for `p ∈ [0, t^ℓ)`.
+///
+/// Each part costs `O(t^{ℓ+1} ℓ + |D|(k-ℓ))` operations and `O(t^ℓ + |D|)`
+/// space, and the parts can be computed by different nodes in parallel.
+#[derive(Clone, Debug)]
+pub struct SplitSparseYates {
+    a: SmallMatrix,
+    k: usize,
+    ell: usize,
+}
+
+impl SplitSparseYates {
+    /// Creates the splitter; `ell` is the number of leading digits handled
+    /// by the inner classical Yates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell > k`.
+    #[must_use]
+    pub fn new(a: SmallMatrix, k: usize, ell: usize) -> Self {
+        assert!(ell <= k, "inner digit count cannot exceed k");
+        SplitSparseYates { a, k, ell }
+    }
+
+    /// Chooses `ℓ = ceil(log_t |D|)` as in the paper, so each part has at
+    /// least `|D|` entries.
+    #[must_use]
+    pub fn with_support_size(a: SmallMatrix, k: usize, support: usize) -> Self {
+        let t = a.rows().max(2);
+        let mut ell = 0usize;
+        let mut cap = 1usize;
+        while cap < support && ell < k {
+            cap *= t;
+            ell += 1;
+        }
+        Self::new(a, k, ell)
+    }
+
+    /// The inner digit count `ℓ`.
+    #[must_use]
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Number of independent parts `t^{k-ℓ}`.
+    #[must_use]
+    pub fn part_count(&self) -> usize {
+        self.a.rows().pow((self.k - self.ell) as u32)
+    }
+
+    /// Entries per part, `t^ℓ`.
+    #[must_use]
+    pub fn part_len(&self) -> usize {
+        self.a.rows().pow(self.ell as u32)
+    }
+
+    /// Computes part `outer` of the output (see the type-level docs for
+    /// the indexing convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outer >= part_count()` or a sparse index is out of range.
+    #[must_use]
+    pub fn part(&self, field: &PrimeField, sparse: &[(usize, u64)], outer: usize) -> Vec<u64> {
+        assert!(outer < self.part_count(), "part index out of range");
+        let (t, s) = (self.a.rows(), self.a.cols());
+        let af = self.a.to_field(field);
+        let tail = self.k - self.ell;
+        let s_inner = s.pow(self.ell as u32);
+        let s_total = s.pow(self.k as u32);
+        // Project the sparse input onto its leading ℓ digits, weighting by
+        // the trailing-digit coefficients against `outer` (steps (a)-(b)).
+        let mut x_inner = vec![0u64; s_inner];
+        for &(j, v) in sparse {
+            assert!(j < s_total, "sparse index out of range");
+            let j_head = j / s.pow(tail as u32);
+            let mut j_tail = j % s.pow(tail as u32);
+            let mut o = outer;
+            let mut coeff = 1u64;
+            for _ in 0..tail {
+                coeff = field.mul(coeff, af[(o % t) * s + (j_tail % s)]);
+                o /= t;
+                j_tail /= s;
+            }
+            if coeff != 0 {
+                x_inner[j_head] = field.mul_add(x_inner[j_head], coeff, v);
+            }
+        }
+        // Step (c): classical Yates on the ℓ leading digits.
+        yates(field, &self.a, self.ell, &x_inner)
+    }
+
+    /// Convenience: assembles the full output from all parts (tests and
+    /// sequential baselines; `O(t^k)` like the dense algorithm).
+    #[must_use]
+    pub fn full_output(&self, field: &PrimeField, sparse: &[(usize, u64)]) -> Vec<u64> {
+        let parts: Vec<Vec<u64>> =
+            (0..self.part_count()).map(|o| self.part(field, sparse, o)).collect();
+        let mut y = vec![0u64; self.part_len() * self.part_count()];
+        let stride = self.part_count();
+        for (o, part) in parts.iter().enumerate() {
+            for (p, &v) in part.iter().enumerate() {
+                y[p * stride + o] = v;
+            }
+        }
+        y
+    }
+
+    /// The polynomial extension (§3.3): evaluates the part polynomials
+    /// `u^{(ℓ)}_{i_1…i_ℓ}(z)` at `z = z0`.
+    ///
+    /// For `z0 ∈ {1, …, t^{k-ℓ}}` this returns exactly
+    /// `part(z0 - 1)`; each component is a polynomial in `z` of degree at
+    /// most `t^{k-ℓ} - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t^{k-ℓ} >= q` (the Lagrange nodes must be distinct).
+    #[must_use]
+    pub fn part_poly_eval(&self, field: &PrimeField, sparse: &[(usize, u64)], z0: u64) -> Vec<u64> {
+        let (t, s) = (self.a.rows(), self.a.cols());
+        let tail = self.k - self.ell;
+        let outer_count = t.pow(tail as u32);
+        // Φ_i(z0) over nodes 1..t^{k-ℓ}.
+        let phi = lagrange_basis_at(field, outer_count, z0);
+        // α_{j_tail}(z0) for every trailing pattern: the transposed
+        // Kronecker power applied to Φ (equation (8) of the paper, computed
+        // with classical Yates).
+        let alpha_tail = yates(field, &self.a.transpose(), tail, &phi);
+        debug_assert_eq!(alpha_tail.len(), s.pow(tail as u32));
+        let s_inner = s.pow(self.ell as u32);
+        let tail_size = s.pow(tail as u32);
+        let mut x_inner = vec![0u64; s_inner];
+        for &(j, v) in sparse {
+            let (j_head, j_tail) = (j / tail_size, j % tail_size);
+            let coeff = alpha_tail[j_tail];
+            if coeff != 0 {
+                x_inner[j_head] = field.mul_add(x_inner[j_head], coeff, v);
+            }
+        }
+        yates(field, &self.a, self.ell, &x_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{RngLike, SplitMix64};
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    fn zeta_matrix() -> SmallMatrix {
+        // Subset-zeta kernel [[1,0],[1,1]].
+        SmallMatrix::new(2, 2, vec![1, 0, 1, 1])
+    }
+
+    fn random_small(rows: usize, cols: usize, rng: &mut SplitMix64) -> SmallMatrix {
+        SmallMatrix::new(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| (rng.next_u64() % 7) as i64 - 3).collect(),
+        )
+    }
+
+    #[test]
+    fn yates_matches_naive_square() {
+        let field = f();
+        let mut rng = SplitMix64::new(1);
+        for k in 1..=4 {
+            let a = random_small(3, 3, &mut rng);
+            let x: Vec<u64> =
+                (0..3usize.pow(k)).map(|_| rng.next_u64() % field.modulus()).collect();
+            assert_eq!(
+                yates(&field, &a, k as usize, &x),
+                kronecker_apply_naive(&field, &a, k as usize, &x),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn yates_matches_naive_rectangular() {
+        let field = f();
+        let mut rng = SplitMix64::new(2);
+        for (t, s, k) in [(2usize, 3usize, 3usize), (4, 2, 3), (7, 4, 2), (1, 3, 3)] {
+            let a = random_small(t, s, &mut rng);
+            let x: Vec<u64> =
+                (0..s.pow(k as u32)).map(|_| rng.next_u64() % field.modulus()).collect();
+            assert_eq!(
+                yates(&field, &a, k, &x),
+                kronecker_apply_naive(&field, &a, k, &x),
+                "t={t} s={s} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn yates_zeta_transform_is_subset_sum() {
+        // A^{⊗k} with the zeta kernel computes g(Y) = Σ_{X ⊆ Y} x(X),
+        // with set bits read most-significant-digit-first.
+        let field = f();
+        let k = 5;
+        let mut rng = SplitMix64::new(3);
+        let x: Vec<u64> = (0..1 << k).map(|_| rng.next_u64() % 1000).collect();
+        let y = yates(&field, &zeta_matrix(), k, &x);
+        for mask in 0..1usize << k {
+            let mut expect = 0u64;
+            let mut sub = mask;
+            loop {
+                expect = field.add(expect, x[sub]);
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & mask;
+            }
+            assert_eq!(y[mask], expect, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn split_sparse_matches_dense_all_parts() {
+        let field = f();
+        let mut rng = SplitMix64::new(4);
+        for (t, s, k, ell) in [(2usize, 2usize, 5usize, 2usize), (3, 2, 4, 1), (7, 4, 3, 2), (2, 2, 4, 0), (2, 2, 4, 4)] {
+            let a = random_small(t, s, &mut rng);
+            let n_in = s.pow(k as u32);
+            // sparse input with ~25% support
+            let mut sparse = Vec::new();
+            let mut dense = vec![0u64; n_in];
+            for j in 0..n_in {
+                if rng.next_u64().is_multiple_of(4) {
+                    let v = rng.next_u64() % field.modulus();
+                    sparse.push((j, v));
+                    dense[j] = v;
+                }
+            }
+            let expected = yates(&field, &a, k, &dense);
+            let splitter = SplitSparseYates::new(a, k, ell);
+            assert_eq!(
+                splitter.full_output(&field, &sparse),
+                expected,
+                "t={t} s={s} k={k} ell={ell}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_support_size_picks_log_t() {
+        let a = zeta_matrix();
+        let sp = SplitSparseYates::with_support_size(a.clone(), 10, 9);
+        assert_eq!(sp.ell(), 4); // 2^4 = 16 >= 9 > 2^3
+        let sp1 = SplitSparseYates::with_support_size(a.clone(), 10, 1);
+        assert_eq!(sp1.ell(), 0);
+        let cap = SplitSparseYates::with_support_size(a, 3, 1000);
+        assert_eq!(cap.ell(), 3); // clamped at k
+    }
+
+    #[test]
+    fn polynomial_extension_agrees_on_integer_nodes() {
+        let field = f();
+        let mut rng = SplitMix64::new(5);
+        let a = random_small(3, 2, &mut rng);
+        let (k, ell) = (4usize, 2usize);
+        let n_in = 2usize.pow(k as u32);
+        let sparse: SparseVec = (0..n_in)
+            .filter_map(|j| {
+                rng.next_u64().is_multiple_of(3).then(|| (j, rng.next_u64() % field.modulus()))
+            })
+            .collect();
+        let splitter = SplitSparseYates::new(a, k, ell);
+        for o in 0..splitter.part_count() {
+            let via_poly = splitter.part_poly_eval(&field, &sparse, o as u64 + 1);
+            let direct = splitter.part(&field, &sparse, o);
+            assert_eq!(via_poly, direct, "outer = {o}");
+        }
+    }
+
+    #[test]
+    fn polynomial_extension_has_bounded_degree() {
+        // Each component of u(z) is a polynomial of degree < t^{k-ℓ}:
+        // interpolating from t^{k-ℓ} generic evaluations must reproduce
+        // evaluations elsewhere.
+        let field = f();
+        let mut rng = SplitMix64::new(6);
+        let a = random_small(2, 2, &mut rng);
+        let (k, ell) = (5usize, 2usize);
+        let sparse: SparseVec = (0..32)
+            .filter_map(|j| {
+                rng.next_u64().is_multiple_of(2).then(|| (j, rng.next_u64() % field.modulus()))
+            })
+            .collect();
+        let splitter = SplitSparseYates::new(a, k, ell);
+        let outer_count = splitter.part_count() as u64; // 8
+        // Sample at z = 101..101+outer_count-1 and interpolate component 3.
+        let comp = 3usize;
+        let pts: Vec<(u64, u64)> = (0..outer_count)
+            .map(|i| {
+                let z = 101 + i;
+                (z, splitter.part_poly_eval(&field, &sparse, z)[comp])
+            })
+            .collect();
+        let poly = camelot_poly::interpolate(&field, &pts);
+        for z in [0u64, 7, 55, 1_000_000] {
+            assert_eq!(
+                poly.eval(&field, z),
+                splitter.part_poly_eval(&field, &sparse, z)[comp],
+                "z = {z}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_matrix_transpose() {
+        let m = SmallMatrix::new(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(0, 1), 4);
+        assert_eq!(t.get(2, 0), 3);
+    }
+}

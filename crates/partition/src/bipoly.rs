@@ -1,0 +1,203 @@
+//! Truncated bivariate polynomials in the weight-tracking indeterminates
+//! `w_E, w_B` of the §7 template.
+//!
+//! Every node computes with polynomials in `Z_q[w_E, w_B]` truncated at
+//! degrees `(|E|, |B|)` — higher powers can never contribute to the
+//! target coefficient `a_{|E|,|B|}`, so the truncation is lossless for
+//! the template's purposes.
+
+use camelot_ff::PrimeField;
+
+/// A dense bivariate polynomial truncated to `we_deg x wb_deg`:
+/// `coeff(i, j)` is the coefficient of `w_E^i w_B^j`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BiPoly {
+    rows: usize,
+    cols: usize,
+    coeffs: Vec<u64>,
+}
+
+impl BiPoly {
+    /// The zero polynomial with truncation degrees `(we_deg, wb_deg)`.
+    #[must_use]
+    pub fn zero(we_deg: usize, wb_deg: usize) -> Self {
+        BiPoly { rows: we_deg + 1, cols: wb_deg + 1, coeffs: vec![0; (we_deg + 1) * (wb_deg + 1)] }
+    }
+
+    /// The monomial `c · w_E^i w_B^j` (silently zero if beyond the
+    /// truncation; `c` must be reduced).
+    #[must_use]
+    pub fn monomial(we_deg: usize, wb_deg: usize, i: usize, j: usize, c: u64) -> Self {
+        let mut p = Self::zero(we_deg, wb_deg);
+        if i < p.rows && j < p.cols {
+            p.coeffs[i * p.cols + j] = c;
+        }
+        p
+    }
+
+    /// Adds `c · w_E^i w_B^j` in place (no-op beyond the truncation).
+    pub fn add_monomial(&mut self, field: &PrimeField, i: usize, j: usize, c: u64) {
+        if i < self.rows && j < self.cols {
+            let idx = i * self.cols + j;
+            self.coeffs[idx] = field.add(self.coeffs[idx], c);
+        }
+    }
+
+    /// Coefficient of `w_E^i w_B^j` (zero beyond the truncation).
+    #[must_use]
+    pub fn coeff(&self, i: usize, j: usize) -> u64 {
+        if i < self.rows && j < self.cols {
+            self.coeffs[i * self.cols + j]
+        } else {
+            0
+        }
+    }
+
+    /// `self += other` (equal truncations required).
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncation mismatch.
+    pub fn add_assign(&mut self, field: &PrimeField, other: &BiPoly) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "truncation mismatch");
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = field.add(*a, b);
+        }
+    }
+
+    /// `self * other`, truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncation mismatch.
+    #[must_use]
+    pub fn mul(&self, field: &PrimeField, other: &BiPoly) -> BiPoly {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "truncation mismatch");
+        let mut out = BiPoly::zero(self.rows - 1, self.cols - 1);
+        for i1 in 0..self.rows {
+            for j1 in 0..self.cols {
+                let a = self.coeffs[i1 * self.cols + j1];
+                if a == 0 {
+                    continue;
+                }
+                for i2 in 0..self.rows - i1 {
+                    for j2 in 0..self.cols - j1 {
+                        let b = other.coeffs[i2 * other.cols + j2];
+                        if b == 0 {
+                            continue;
+                        }
+                        let idx = (i1 + i2) * out.cols + (j1 + j2);
+                        out.coeffs[idx] = field.mul_add(out.coeffs[idx], a, b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiplies by the monomial `w_E^i w_B^j c` (shift + scale).
+    #[must_use]
+    pub fn mul_monomial(&self, field: &PrimeField, i: usize, j: usize, c: u64) -> BiPoly {
+        let mut out = BiPoly::zero(self.rows - 1, self.cols - 1);
+        for i1 in 0..self.rows.saturating_sub(i) {
+            for j1 in 0..self.cols.saturating_sub(j) {
+                let a = self.coeffs[i1 * self.cols + j1];
+                if a != 0 {
+                    out.coeffs[(i1 + i) * out.cols + (j1 + j)] = field.mul(a, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^exp`, truncated, by square-and-multiply.
+    #[must_use]
+    pub fn pow(&self, field: &PrimeField, mut exp: u64) -> BiPoly {
+        let mut acc = BiPoly::monomial(self.rows - 1, self.cols - 1, 0, 0, 1);
+        let mut base = self.clone();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(field, &base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(field, &base);
+            }
+        }
+        acc
+    }
+
+    /// True if every coefficient is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    #[test]
+    fn monomial_and_coeff() {
+        let p = BiPoly::monomial(3, 2, 1, 2, 7);
+        assert_eq!(p.coeff(1, 2), 7);
+        assert_eq!(p.coeff(0, 0), 0);
+        assert_eq!(p.coeff(9, 9), 0);
+        // Beyond truncation: silently zero.
+        let q = BiPoly::monomial(3, 2, 4, 0, 7);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn multiplication_truncates() {
+        let field = f();
+        // (w_E + w_B)^2 truncated at (1, 1): only the cross term 2 w_E w_B
+        // survives; w_E² and w_B² are cut.
+        let mut p = BiPoly::zero(1, 1);
+        p.add_monomial(&field, 1, 0, 1);
+        p.add_monomial(&field, 0, 1, 1);
+        let sq = p.mul(&field, &p);
+        assert_eq!(sq.coeff(1, 1), 2);
+        assert_eq!(sq.coeff(0, 0), 0);
+        assert_eq!(sq.coeff(1, 0), 0);
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul() {
+        let field = f();
+        let mut p = BiPoly::zero(4, 3);
+        p.add_monomial(&field, 0, 0, 2);
+        p.add_monomial(&field, 1, 1, 3);
+        p.add_monomial(&field, 2, 0, 1);
+        let mut iter = BiPoly::monomial(4, 3, 0, 0, 1);
+        for e in 0..=5u64 {
+            assert_eq!(p.pow(&field, e), iter, "exponent {e}");
+            iter = iter.mul(&field, &p);
+        }
+    }
+
+    #[test]
+    fn mul_monomial_is_shift_scale() {
+        let field = f();
+        let mut p = BiPoly::zero(3, 3);
+        p.add_monomial(&field, 0, 1, 5);
+        p.add_monomial(&field, 1, 0, 4);
+        let shifted = p.mul_monomial(&field, 1, 1, 2);
+        assert_eq!(shifted.coeff(1, 2), 10);
+        assert_eq!(shifted.coeff(2, 1), 8);
+        assert_eq!(shifted.coeff(0, 1), 0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let field = f();
+        let mut p = BiPoly::monomial(2, 2, 1, 1, field.modulus() - 1);
+        p.add_assign(&field, &BiPoly::monomial(2, 2, 1, 1, 2));
+        assert_eq!(p.coeff(1, 1), 1);
+    }
+}

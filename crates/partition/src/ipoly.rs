@@ -1,0 +1,182 @@
+//! Exact integer polynomial interpolation.
+//!
+//! The chromatic and Tutte drivers reconstruct integer-coefficient
+//! polynomials from their (CRT-recovered) values at consecutive integer
+//! points. Divided differences at unit spacing stay integral for
+//! integer-valued polynomials (they are binomial-basis coefficients), so
+//! the whole pipeline is fraction-free `IBig` arithmetic.
+
+use camelot_ff::IBig;
+
+/// Interpolates the unique degree-`< L` polynomial through
+/// `(start + i, values[i])`, returning little-endian monomial
+/// coefficients (trailing zeros trimmed).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or a divided difference fails to be
+/// integral (the inputs were not the values of an integer polynomial).
+#[must_use]
+pub fn interpolate_integer(values: &[IBig], start: i64) -> Vec<IBig> {
+    assert!(!values.is_empty(), "need at least one value");
+    let l = values.len();
+    // Divided differences at unit spacing: level ℓ divides by ℓ.
+    let mut dd: Vec<IBig> = values.to_vec();
+    for level in 1..l {
+        for i in (level..l).rev() {
+            let diff = dd[i].sub(&dd[i - 1]);
+            dd[i] = diff.div_exact_u64(level as u64);
+        }
+    }
+    // Newton form -> monomials: p(x) = Σ dd[k] Π_{j<k} (x - (start+j)).
+    let mut coeffs: Vec<IBig> = vec![IBig::zero(); l];
+    for k in (0..l).rev() {
+        // coeffs = coeffs * (x - (start + k)) + dd[k] … but Horner over
+        // the Newton nodes: multiply by (x - node_k) then add dd[k].
+        let node = IBig::from_i64(start + k as i64);
+        let mut next = vec![IBig::zero(); l];
+        for (i, c) in coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if i + 1 < l {
+                next[i + 1] = next[i + 1].add(c);
+            }
+            next[i] = next[i].sub(&c.mul(&node));
+        }
+        next[0] = next[0].add(&dd[k]);
+        coeffs = next;
+    }
+    while coeffs.len() > 1 && coeffs.last().is_some_and(IBig::is_zero) {
+        coeffs.pop();
+    }
+    coeffs
+}
+
+/// Evaluates integer coefficients at an integer point.
+#[must_use]
+pub fn eval_integer(coeffs: &[IBig], x: i64) -> IBig {
+    let xb = IBig::from_i64(x);
+    let mut acc = IBig::zero();
+    for c in coeffs.iter().rev() {
+        acc = acc.mul(&xb).add(c);
+    }
+    acc
+}
+
+/// Interpolates a bivariate integer polynomial from a value grid:
+/// `grid[i][j]` is the value at `(x_start + i, y_start + j)`. Returns
+/// `coeffs[a][b]` of `x^a y^b`.
+///
+/// # Panics
+///
+/// Panics on a ragged or empty grid, or non-integral differences.
+#[must_use]
+pub fn interpolate_integer_2d(grid: &[Vec<IBig>], x_start: i64, y_start: i64) -> Vec<Vec<IBig>> {
+    assert!(!grid.is_empty() && !grid[0].is_empty(), "empty grid");
+    let cols = grid[0].len();
+    assert!(grid.iter().all(|r| r.len() == cols), "ragged grid");
+    // Interpolate each row in y.
+    let row_polys: Vec<Vec<IBig>> =
+        grid.iter().map(|row| interpolate_integer(row, y_start)).collect();
+    let y_deg = row_polys.iter().map(Vec::len).max().expect("nonempty");
+    // For each y-coefficient, interpolate down the x direction.
+    let mut out: Vec<Vec<IBig>> = Vec::new();
+    for b in 0..y_deg {
+        let column: Vec<IBig> = row_polys
+            .iter()
+            .map(|r| r.get(b).cloned().unwrap_or_else(IBig::zero))
+            .collect();
+        let xs = interpolate_integer(&column, x_start);
+        for (a, c) in xs.into_iter().enumerate() {
+            while out.len() <= a {
+                out.push(Vec::new());
+            }
+            while out[a].len() <= b {
+                out[a].push(IBig::zero());
+            }
+            out[a][b] = c;
+        }
+    }
+    out
+}
+
+/// Evaluates a bivariate coefficient table at integer `(x, y)`.
+#[must_use]
+pub fn eval_integer_2d(coeffs: &[Vec<IBig>], x: i64, y: i64) -> IBig {
+    let mut acc = IBig::zero();
+    let xb = IBig::from_i64(x);
+    for row in coeffs.iter().rev() {
+        let row_val = eval_integer(row, y);
+        acc = acc.mul(&xb).add(&row_val);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ib(v: i64) -> IBig {
+        IBig::from_i64(v)
+    }
+
+    #[test]
+    fn interpolates_known_polynomial() {
+        // p(x) = x^3 - 2x + 5
+        let p = |x: i64| x * x * x - 2 * x + 5;
+        let values: Vec<IBig> = (1..=5).map(|x| ib(p(x))).collect();
+        let coeffs = interpolate_integer(&values, 1);
+        assert_eq!(
+            coeffs.iter().map(|c| c.to_i64().unwrap()).collect::<Vec<_>>(),
+            vec![5, -2, 0, 1]
+        );
+        for x in -3..10 {
+            assert_eq!(eval_integer(&coeffs, x).to_i64(), Some(p(x)));
+        }
+    }
+
+    #[test]
+    fn constant_and_linear() {
+        assert_eq!(interpolate_integer(&[ib(42)], 7), vec![ib(42)]);
+        let coeffs = interpolate_integer(&[ib(3), ib(5)], 0);
+        assert_eq!(coeffs, vec![ib(3), ib(2)]);
+    }
+
+    #[test]
+    fn negative_start_points() {
+        let p = |x: i64| 2 * x * x - x;
+        let values: Vec<IBig> = (-2..=2).map(|x| ib(p(x))).collect();
+        let coeffs = interpolate_integer(&values, -2);
+        for x in -5..5 {
+            assert_eq!(eval_integer(&coeffs, x).to_i64(), Some(p(x)));
+        }
+    }
+
+    #[test]
+    fn bivariate_roundtrip() {
+        // q(x, y) = 3x²y - xy² + 4y + 1
+        let q = |x: i64, y: i64| 3 * x * x * y - x * y * y + 4 * y + 1;
+        let grid: Vec<Vec<IBig>> =
+            (1..=4).map(|x| (1..=4).map(|y| ib(q(x, y))).collect()).collect();
+        let coeffs = interpolate_integer_2d(&grid, 1, 1);
+        assert_eq!(coeffs[2][1].to_i64(), Some(3));
+        assert_eq!(coeffs[1][2].to_i64(), Some(-1));
+        assert_eq!(coeffs[0][1].to_i64(), Some(4));
+        assert_eq!(coeffs[0][0].to_i64(), Some(1));
+        for x in -2..6 {
+            for y in -2..6 {
+                assert_eq!(eval_integer_2d(&coeffs, x, y).to_i64(), Some(q(x, y)), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exact")]
+    fn non_polynomial_values_rejected() {
+        // Values of 2^x are not a degree-2 integer polynomial; divided
+        // differences stay integral here by luck or panic — force a case
+        // that fails: f = [0, 0, 1] has Δ² = 1, /2 fails.
+        let _ = interpolate_integer(&[ib(0), ib(0), ib(1)], 0);
+    }
+}

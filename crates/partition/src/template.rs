@@ -1,0 +1,215 @@
+//! The §7 proof template for partitioning sum-products.
+//!
+//! Universe `U = E ∪ B`: subsets of the *explicit* set `E` are tracked by
+//! table index, while membership in the *bit* set `B` is encoded through
+//! Kronecker substitution — element `i` of `B` carries the bit value
+//! `2^i`, and a part `X` contributes the factor `x^{Σ bits(X ∩ B)}`.
+//! Selecting `|B|` bits (with repetition) sums to `2^{|B|} - 1` **iff**
+//! each bit was chosen exactly once, so the proof coefficient
+//!
+//! ```text
+//! p_{2^{|B|}-1}  =  Σ_{(X_1..X_t) partitions U} f(X_1)···f(X_t)
+//! ```
+//!
+//! is the partitioning sum-product (22). The proof polynomial has degree
+//! `d = 2^{|B|-1} |B|`, and each node evaluates `P(x_0)` as the
+//! coefficient of `w_E^{|E|} w_B^{|B|}` in
+//! `a(w) = Σ_{Y ⊆ E} (-1)^{|E∖Y|} g(Y)^t` (equation (28)).
+
+use crate::bipoly::BiPoly;
+use camelot_ff::PrimeField;
+
+/// The universe split `U = E ∪ B` with `E` the low `e_size` elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// `|U|`.
+    pub n: usize,
+    /// `|E|` (elements `0..e_size`).
+    pub e_size: usize,
+    /// `|B|` (elements `e_size..n`).
+    pub b_size: usize,
+}
+
+impl Split {
+    /// Balanced split `|E| = ⌈n/2⌉` (the §7.4 optimum `|E| = |B|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 40` (the `2^{|E|}` table must fit).
+    #[must_use]
+    pub fn balanced(n: usize) -> Self {
+        Self::with_explicit(n, n.div_ceil(2))
+    }
+
+    /// Split with a chosen explicit size (`|E| = 2|B|` for the Tutte
+    /// design of §10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are inconsistent or `b_size > 20`.
+    #[must_use]
+    pub fn with_explicit(n: usize, e_size: usize) -> Self {
+        assert!(n > 0, "empty universe");
+        assert!(e_size <= n, "explicit part exceeds the universe");
+        let b_size = n - e_size;
+        assert!(e_size <= 24 && b_size <= 20, "split too large for in-memory tables");
+        Split { n, e_size, b_size }
+    }
+
+    /// Degree bound of the proof polynomial: `2^{|B|-1} |B|` (the largest
+    /// achievable bit-multiset sum).
+    #[must_use]
+    pub fn degree_bound(&self) -> usize {
+        if self.b_size == 0 {
+            0
+        } else {
+            (1usize << (self.b_size - 1)) * self.b_size
+        }
+    }
+
+    /// The proof coefficient index carrying the answer: `2^{|B|} - 1`.
+    #[must_use]
+    pub fn target_coefficient(&self) -> usize {
+        (1usize << self.b_size) - 1
+    }
+
+    /// Mask of `E` inside `U`.
+    #[must_use]
+    pub fn e_mask(&self) -> u64 {
+        (1u64 << self.e_size) - 1
+    }
+
+    /// Splits a universe subset into `(X ∩ E, X ∩ B)` with the `B` part
+    /// re-based to bits `0..b_size`.
+    #[must_use]
+    pub fn split_mask(&self, x: u64) -> (u64, u64) {
+        (x & self.e_mask(), x >> self.e_size)
+    }
+}
+
+/// In-place zeta transform over the explicit part: `g[Y] = Σ_{Z ⊆ Y}
+/// g0[Z]` (Yates's algorithm specialised to the subset lattice).
+///
+/// # Panics
+///
+/// Panics if `table.len() != 2^e_size`.
+pub fn zeta_in_place(field: &PrimeField, table: &mut [BiPoly], e_size: usize) {
+    assert_eq!(table.len(), 1 << e_size, "table must have 2^|E| entries");
+    for j in 0..e_size {
+        for y in 0..table.len() {
+            if y >> j & 1 == 1 {
+                let (lo, hi) = table.split_at_mut(y);
+                hi[0].add_assign(field, &lo[y & !(1 << j)]);
+            }
+        }
+    }
+}
+
+/// Equation (28): `a(w) = Σ_{Y ⊆ E} (-1)^{|E∖Y|} g(Y)^t`, returning the
+/// target coefficient `a_{|E|,|B|} = P(x_0) (mod q)`.
+///
+/// # Panics
+///
+/// Panics if `g.len() != 2^e_size`.
+#[must_use]
+pub fn alternating_power_coefficient(
+    field: &PrimeField,
+    g: &[BiPoly],
+    split: &Split,
+    t: u64,
+) -> u64 {
+    assert_eq!(g.len(), 1 << split.e_size, "table must have 2^|E| entries");
+    let mut acc = 0u64;
+    for (y, poly) in g.iter().enumerate() {
+        let coeff = poly.pow(field, t).coeff(split.e_size, split.b_size);
+        if (split.e_size - (y as u64).count_ones() as usize).is_multiple_of(2) {
+            acc = field.add(acc, coeff);
+        } else {
+            acc = field.sub(acc, coeff);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    #[test]
+    fn split_geometry() {
+        let s = Split::balanced(7);
+        assert_eq!((s.e_size, s.b_size), (4, 3));
+        assert_eq!(s.degree_bound(), 4 * 3);
+        assert_eq!(s.target_coefficient(), 7);
+        assert_eq!(s.split_mask(0b101_1010), (0b1010, 0b101));
+        let t = Split::with_explicit(9, 6);
+        assert_eq!((t.e_size, t.b_size), (6, 3));
+    }
+
+    #[test]
+    fn zeta_is_subset_sum() {
+        let field = f();
+        let e = 3;
+        let mut table: Vec<BiPoly> =
+            (0..8).map(|i| BiPoly::monomial(2, 2, 0, 0, i as u64 + 1)).collect();
+        let original: Vec<u64> = table.iter().map(|p| p.coeff(0, 0)).collect();
+        zeta_in_place(&field, &mut table, e);
+        for y in 0..8usize {
+            let mut expect = 0u64;
+            let mut sub = y;
+            loop {
+                expect += original[sub];
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & y;
+            }
+            assert_eq!(table[y].coeff(0, 0), expect, "Y = {y:b}");
+        }
+    }
+
+    #[test]
+    fn template_counts_ordered_set_partitions_brute() {
+        // Tiny end-to-end sanity check of the machinery itself: count
+        // ordered pairs of disjoint sets covering U = {0,1,2} drawn from
+        // the family of ALL nonempty subsets, with |E| = 2, |B| = 1.
+        // Expected: each of the 2^3 - 2 = 6 proper bipartitions ordered:
+        // ({0},{1,2}),({1},{0,2}),({2},{0,1}) and swaps = 6... plus
+        // nothing else (parts nonempty, exactly cover).
+        let field = f();
+        let split = Split::with_explicit(3, 2);
+        let family: Vec<u64> = (1..8).collect();
+        // Build g for x0 = the target evaluation x0 such that the answer
+        // is the target coefficient... here we instead check Σ over the
+        // evaluations: P(x0) at x0 = 1 sums all coefficients; easier to
+        // check the fully-explicit coefficient extraction path on a
+        // single point with x0 chosen as a variable stand-in is overkill —
+        // use x0 = 2 so bit sums are faithfully Kronecker-separated:
+        // p_s coefficients with s <= 2^{|B|-1}|B| = 1 * 1... b_size = 1,
+        // degree bound 1, target coefficient 1, so P(x) = p0 + p1 x and
+        // p1 is the answer. Interpolate from x = 0, 1.
+        let eval = |x0: u64| -> u64 {
+            let mut g0: Vec<BiPoly> =
+                (0..4).map(|_| BiPoly::zero(split.e_size, split.b_size)).collect();
+            for &x in &family {
+                let (me, mb) = split.split_mask(x);
+                let c = field.pow(field.reduce(x0), mb);
+                g0[me as usize].add_monomial(
+                    &field,
+                    me.count_ones() as usize,
+                    mb.count_ones() as usize,
+                    c,
+                );
+            }
+            zeta_in_place(&field, &mut g0, split.e_size);
+            alternating_power_coefficient(&field, &g0, &split, 2)
+        };
+        let p0 = eval(0);
+        let p1 = field.sub(eval(1), p0);
+        assert_eq!(p1, 6, "ordered bipartitions of a 3-set");
+    }
+}

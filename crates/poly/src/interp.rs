@@ -1,0 +1,219 @@
+//! Interpolation and multipoint evaluation.
+//!
+//! Camelot proof polynomials are repeatedly moved between *evaluation
+//! form* (the Reed–Solomon codeword the nodes produce) and *coefficient
+//! form* (the proof the verifier spot-checks). This module provides Newton
+//! interpolation at arbitrary distinct points, plus the special-cased
+//! `O(R)` evaluation of all Lagrange basis polynomials
+//! `Λ_r(x_0)` over the consecutive points `1..=R` used by the clique and
+//! triangle evaluation algorithms (§5.3 and §3.3 of the paper).
+
+use crate::dense::Poly;
+use camelot_ff::PrimeField;
+
+/// Interpolates the unique polynomial of degree `< points.len()` through
+/// the given `(x, y)` pairs, via Newton's divided differences (`O(n²)`).
+///
+/// # Panics
+///
+/// Panics if two points share an abscissa.
+#[must_use]
+pub fn interpolate(field: &PrimeField, points: &[(u64, u64)]) -> Poly {
+    if points.is_empty() {
+        return Poly::zero();
+    }
+    let n = points.len();
+    // Divided-difference coefficients c_i (Newton form).
+    let mut coef: Vec<u64> = points.iter().map(|&(_, y)| field.reduce(y)).collect();
+    for level in 1..n {
+        for i in (level..n).rev() {
+            let dx = field.sub(field.reduce(points[i].0), field.reduce(points[i - level].0));
+            assert!(dx != 0, "interpolation points must be distinct (mod q)");
+            coef[i] = field.mul(field.sub(coef[i], coef[i - 1]), field.inv(dx));
+        }
+    }
+    // Expand Newton form to monomial coefficients by Horner on the nodes:
+    // p(x) = c_0 + (x - x_0)(c_1 + (x - x_1)(...)).
+    let mut poly = Poly::zero();
+    for i in (0..n).rev() {
+        let xi = field.reduce(points[i].0);
+        // poly = poly * (x - x_i) + c_i
+        let shifted = poly.shift(1);
+        let scaled = poly.scale(field, field.neg(xi));
+        poly = shifted.add(field, &scaled).add(field, &Poly::constant(coef[i]));
+    }
+    poly
+}
+
+/// Evaluates `poly` at each point (Horner per point, `O(d·n)`).
+#[must_use]
+pub fn eval_many(field: &PrimeField, poly: &Poly, xs: &[u64]) -> Vec<u64> {
+    xs.iter().map(|&x| poly.eval(field, x)).collect()
+}
+
+/// Evaluates all `R` Lagrange basis polynomials over the consecutive nodes
+/// `1, 2, ..., R` at the point `x0`, in `O(R)` field operations.
+///
+/// `Λ_r(x) = Π_{j != r} (x - j) / (r - j)` — returned as a vector indexed
+/// by `r - 1`. This is the initialization step of the proof-polynomial
+/// evaluation algorithm in §5.3 of the paper: precompute factorials
+/// `F_j`, the product `Γ(x0) = Π_j (x0 - j)`, and combine
+/// `Λ_r(x0) = Γ(x0) / ((x0 - r) · (-1)^{R-r} F_{r-1} F_{R-r})`.
+///
+/// # Panics
+///
+/// Panics if `r_count == 0` or `r_count >= q` (the nodes `1..=R` must be
+/// distinct field elements).
+#[must_use]
+pub fn lagrange_basis_at(field: &PrimeField, r_count: usize, x0: u64) -> Vec<u64> {
+    assert!(r_count > 0, "need at least one interpolation node");
+    let r64 = u64::try_from(r_count).expect("node count fits u64");
+    assert!(r64 < field.modulus(), "nodes 1..=R must be distinct mod q");
+    let x0 = field.reduce(x0);
+    // Inside the node range the basis is an indicator vector.
+    if (1..=r64).contains(&x0) {
+        let mut out = vec![0u64; r_count];
+        out[(x0 - 1) as usize] = 1;
+        return out;
+    }
+    // Factorials F_0..F_{R-1}.
+    let mut fact = Vec::with_capacity(r_count);
+    let mut acc = 1u64;
+    for j in 0..r_count as u64 {
+        if j > 0 {
+            acc = field.mul(acc, field.reduce(j));
+        }
+        fact.push(acc);
+    }
+    // Γ(x0) and the per-node denominators (x0 - r).
+    let mut diffs: Vec<u64> = (1..=r64).map(|r| field.sub(x0, field.reduce(r))).collect();
+    let mut gamma = 1u64;
+    for &d in &diffs {
+        gamma = field.mul(gamma, d);
+    }
+    // Batch-invert denominators and factorials together.
+    let mut to_invert = diffs.clone();
+    to_invert.extend_from_slice(&fact);
+    field.inv_batch(&mut to_invert);
+    let (inv_diffs, inv_fact) = to_invert.split_at(r_count);
+    diffs.clear();
+    let mut out = Vec::with_capacity(r_count);
+    for r in 1..=r_count {
+        let mut v = field.mul(gamma, inv_diffs[r - 1]);
+        v = field.mul(v, inv_fact[r - 1]);
+        v = field.mul(v, inv_fact[r_count - r]);
+        if (r_count - r) % 2 == 1 {
+            v = field.neg(v);
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Interpolates a polynomial from its values at the consecutive points
+/// `0, 1, ..., n-1` (thin wrapper over [`interpolate`], kept as named API
+/// because the Camelot recovery step uses it pervasively).
+#[must_use]
+pub fn interpolate_consecutive(field: &PrimeField, values: &[u64]) -> Poly {
+    let pts: Vec<(u64, u64)> = values.iter().enumerate().map(|(i, &y)| (i as u64, y)).collect();
+    interpolate(field, &pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{RngLike, SplitMix64};
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    #[test]
+    fn interpolation_roundtrip_random() {
+        let field = f();
+        let mut rng = SplitMix64::new(11);
+        for deg in [0usize, 1, 2, 7, 33] {
+            let poly = Poly::from_reduced(
+                (0..=deg)
+                    .map(|i| if i == deg { 1 } else { rng.next_u64() % field.modulus() })
+                    .collect(),
+            );
+            let xs: Vec<u64> = (0..=deg as u64).collect();
+            let pts: Vec<(u64, u64)> = xs.iter().map(|&x| (x, poly.eval(&field, x))).collect();
+            assert_eq!(interpolate(&field, &pts), poly, "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn interpolation_arbitrary_nodes() {
+        let field = f();
+        let mut rng = SplitMix64::new(12);
+        let poly = Poly::from_coeffs(&field, [5, 0, 3, 9, 1]);
+        let mut xs = std::collections::BTreeSet::new();
+        while xs.len() < 5 {
+            xs.insert(field.sample(&mut rng));
+        }
+        let pts: Vec<(u64, u64)> = xs.iter().map(|&x| (x, poly.eval(&field, x))).collect();
+        assert_eq!(interpolate(&field, &pts), poly);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_nodes_rejected() {
+        let field = f();
+        let _ = interpolate(&field, &[(1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn lagrange_basis_matches_definition() {
+        let field = f();
+        let r_count = 9;
+        // Reference: build each Λ_r explicitly by interpolation of the
+        // indicator values.
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..5 {
+            let x0 = field.sample(&mut rng);
+            let fast = lagrange_basis_at(&field, r_count, x0);
+            for r in 1..=r_count {
+                let pts: Vec<(u64, u64)> =
+                    (1..=r_count as u64).map(|j| (j, u64::from(j == r as u64))).collect();
+                let basis = interpolate(&field, &pts);
+                assert_eq!(fast[r - 1], basis.eval(&field, x0), "r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn lagrange_basis_partition_of_unity() {
+        let field = f();
+        let mut rng = SplitMix64::new(14);
+        for r_count in [1usize, 2, 8, 100] {
+            let x0 = field.sample(&mut rng);
+            let basis = lagrange_basis_at(&field, r_count, x0);
+            let sum = basis.iter().fold(0u64, |a, &b| field.add(a, b));
+            assert_eq!(sum, 1, "Σ_r Λ_r(x) = 1 for R = {r_count}");
+        }
+    }
+
+    #[test]
+    fn lagrange_basis_indicator_inside_range() {
+        let field = f();
+        let basis = lagrange_basis_at(&field, 6, 4);
+        assert_eq!(basis, vec![0, 0, 0, 1, 0, 0]);
+        let basis0 = lagrange_basis_at(&field, 6, 0);
+        // x0 = 0 is outside 1..=6; check against the definition instead.
+        let sum = basis0.iter().fold(0u64, |a, &b| field.add(a, b));
+        assert_eq!(sum, 1);
+    }
+
+    #[test]
+    fn consecutive_interpolation_matches_general() {
+        let field = f();
+        let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let a = interpolate_consecutive(&field, &values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(a.eval(&field, i as u64), v);
+        }
+        assert!(a.degree().unwrap() < values.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! # camelot-poly — polynomial arithmetic for the Camelot framework
+//!
+//! The fast polynomial toolbox of §2.2 of *“How Proofs are Prepared at
+//! Camelot”*: dense polynomials over `Z_q` with multiplication, Euclidean
+//! division, (partial, early-stopping) extended Euclid, Horner evaluation,
+//! Newton interpolation, and the `O(R)` consecutive-node Lagrange basis
+//! evaluation of §5.3 that the clique/triangle evaluation algorithms use.
+//!
+//! ## Example
+//!
+//! ```
+//! use camelot_ff::PrimeField;
+//! use camelot_poly::{interpolate, Poly};
+//!
+//! let f = PrimeField::new(101)?;
+//! let p = Poly::from_coeffs(&f, [2, 0, 1]); // 2 + x^2
+//! let pts: Vec<(u64, u64)> = (0..3).map(|x| (x, p.eval(&f, x))).collect();
+//! assert_eq!(interpolate(&f, &pts), p);
+//! # Ok::<(), camelot_ff::FieldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod interp;
+mod ntt;
+
+pub use dense::Poly;
+pub use ntt::NttPlan;
+pub use interp::{eval_many, interpolate, interpolate_consecutive, lagrange_basis_at};

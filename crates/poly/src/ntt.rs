@@ -1,0 +1,221 @@
+//! Number-theoretic transforms for NTT-friendly prime moduli.
+//!
+//! When `q ≡ 1 (mod 2^k)` the field has a primitive `2^k`-th root of
+//! unity and degree-`< 2^{k-1}` polynomials multiply in `O(n log n)`
+//! operations — the `M(d) = d log d log log d` toolbox of §2.2 of the
+//! paper. The engine's deterministic prime schedule does not require
+//! NTT-friendly primes, so this is an opt-in fast path: build an
+//! [`NttPlan`] when the modulus admits one (e.g. from
+//! [`camelot_ff::ntt_prime`]) and use [`NttPlan::multiply`].
+
+use crate::dense::Poly;
+use camelot_ff::{primitive_root, PrimeField};
+
+/// A radix-2 NTT execution plan for transforms of length `2^k` over a
+/// fixed prime field.
+#[derive(Clone, Debug)]
+pub struct NttPlan {
+    field: PrimeField,
+    log_len: u32,
+    /// Primitive `2^k`-th root of unity.
+    root: u64,
+    /// Its inverse.
+    root_inv: u64,
+    /// `(2^k)^{-1} mod q`.
+    len_inv: u64,
+}
+
+impl NttPlan {
+    /// Builds a plan for transforms of length `2^log_len`, if the field
+    /// supports one (`2^log_len` must divide `q - 1`).
+    #[must_use]
+    pub fn new(field: &PrimeField, log_len: u32) -> Option<Self> {
+        let q = field.modulus();
+        let len = 1u64 << log_len;
+        if !(q - 1).is_multiple_of(len) {
+            return None;
+        }
+        let g = primitive_root(q);
+        let root = field.pow(g, (q - 1) >> log_len);
+        Some(NttPlan {
+            field: *field,
+            log_len,
+            root,
+            root_inv: field.inv(root),
+            len_inv: field.inv(field.reduce(len)),
+        })
+    }
+
+    /// Transform length `2^log_len`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1 << self.log_len
+    }
+
+    /// Always false (a plan has positive length); provided alongside
+    /// [`NttPlan::len`] per API convention.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == self.len()`.
+    pub fn forward(&self, values: &mut [u64]) {
+        self.transform(values, self.root);
+    }
+
+    /// In-place inverse transform (includes the `1/n` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values.len() == self.len()`.
+    pub fn inverse(&self, values: &mut [u64]) {
+        self.transform(values, self.root_inv);
+        for v in values.iter_mut() {
+            *v = self.field.mul(*v, self.len_inv);
+        }
+    }
+
+    /// Iterative Cooley–Tukey with bit-reversal permutation.
+    fn transform(&self, values: &mut [u64], base_root: u64) {
+        let n = self.len();
+        assert_eq!(values.len(), n, "transform length mismatch");
+        let f = &self.field;
+        // Bit reversal.
+        let shift = u32::BITS - self.log_len;
+        for i in 0..n {
+            let j = ((i as u32).reverse_bits() >> shift) as usize;
+            if i < j {
+                values.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut span = 1usize;
+        let mut round_root = vec![0u64; self.log_len as usize];
+        // round_root[r] is the 2^{r+1}-th root: base_root^(n / 2^{r+1}).
+        for (r, slot) in round_root.iter_mut().enumerate() {
+            *slot = f.pow(base_root, (n >> (r + 1)) as u64);
+        }
+        for &w_span in &round_root {
+            for block in (0..n).step_by(2 * span) {
+                let mut w = 1u64;
+                for i in block..block + span {
+                    let a = values[i];
+                    let b = f.mul(values[i + span], w);
+                    values[i] = f.add(a, b);
+                    values[i + span] = f.sub(a, b);
+                    w = f.mul(w, w_span);
+                }
+            }
+            span *= 2;
+        }
+    }
+
+    /// Multiplies two polynomials through the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product degree does not fit the transform length.
+    #[must_use]
+    pub fn multiply(&self, a: &Poly, b: &Poly) -> Poly {
+        if a.is_zero() || b.is_zero() {
+            return Poly::zero();
+        }
+        let out_len = a.coeffs().len() + b.coeffs().len() - 1;
+        assert!(out_len <= self.len(), "product degree exceeds the transform length");
+        let mut fa = a.coeffs().to_vec();
+        let mut fb = b.coeffs().to_vec();
+        fa.resize(self.len(), 0);
+        fb.resize(self.len(), 0);
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = self.field.mul(*x, *y);
+        }
+        self.inverse(&mut fa);
+        fa.truncate(out_len);
+        Poly::from_reduced(fa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{ntt_prime, SplitMix64};
+
+    fn plan(k: u32) -> (PrimeField, NttPlan) {
+        let (q, _) = ntt_prime(1 << 20, k);
+        let field = PrimeField::new(q).unwrap();
+        let plan = NttPlan::new(&field, k).expect("prime was built for this length");
+        (field, plan)
+    }
+
+    #[test]
+    fn unfriendly_modulus_is_refused() {
+        // 1_000_000_007 - 1 = 2 * 500000003: only one factor of two.
+        let field = PrimeField::new(1_000_000_007).unwrap();
+        assert!(NttPlan::new(&field, 1).is_some());
+        assert!(NttPlan::new(&field, 2).is_none());
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let (field, plan) = plan(10);
+        let mut rng = SplitMix64::new(5);
+        let original: Vec<u64> = (0..1024).map(|_| field.sample(&mut rng)).collect();
+        let mut values = original.clone();
+        plan.forward(&mut values);
+        assert_ne!(values, original, "transform must move the data");
+        plan.inverse(&mut values);
+        assert_eq!(values, original);
+    }
+
+    #[test]
+    fn multiply_matches_karatsuba() {
+        let (field, plan) = plan(11);
+        let mut rng = SplitMix64::new(6);
+        for (da, db) in [(0usize, 0usize), (5, 9), (300, 500), (1023, 1000)] {
+            let a = Poly::from_reduced(
+                (0..=da).map(|i| if i == da { 1 } else { field.sample(&mut rng) }).collect(),
+            );
+            let b = Poly::from_reduced(
+                (0..=db).map(|i| if i == db { 1 } else { field.sample(&mut rng) }).collect(),
+            );
+            assert_eq!(plan.multiply(&a, &b), a.mul(&field, &b), "degrees {da},{db}");
+        }
+    }
+
+    #[test]
+    fn multiply_handles_zero() {
+        let (field, plan) = plan(4);
+        let a = Poly::from_coeffs(&field, [1, 2, 3]);
+        assert!(plan.multiply(&a, &Poly::zero()).is_zero());
+        assert!(plan.multiply(&Poly::zero(), &a).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the transform length")]
+    fn oversize_product_rejected() {
+        let (field, plan) = plan(3);
+        let a = Poly::from_coeffs(&field, (1..=6).collect::<Vec<u64>>());
+        let _ = plan.multiply(&a, &a); // degree 10 > 7
+    }
+
+    #[test]
+    fn convolution_theorem_spot_check() {
+        // Forward transform of a delta at position p is the geometric
+        // sequence root^(p*i).
+        let (field, plan) = plan(5);
+        let mut values = vec![0u64; 32];
+        values[1] = 1;
+        plan.forward(&mut values);
+        let w = values[1];
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(v, field.pow(w, i as u64), "index {i}");
+        }
+    }
+}

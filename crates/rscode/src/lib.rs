@@ -1,0 +1,461 @@
+//! # camelot-rscode — nonsystematic Reed–Solomon codes and the Gao decoder
+//!
+//! §2.3 of *“How Proofs are Prepared at Camelot”*. A Camelot proof in
+//! preparation **is** a Reed–Solomon codeword: the message is the
+//! coefficient vector `(p_0, ..., p_d)` of the proof polynomial and the
+//! codeword is the evaluation vector `(P(x_1), ..., P(x_e))` the compute
+//! nodes produce. Decoding with the algorithm of Gao both recovers the
+//! proof **and identifies the failed nodes** (the error locations), which
+//! is what gives the framework its byzantine robustness.
+//!
+//! * [`RsCode::encode`] — message polynomial → codeword (what honest nodes
+//!   jointly compute, each contributing a slice);
+//! * [`RsCode::decode`] — received word (with erasures for crashed nodes
+//!   and errors for corrupted ones) → proof polynomial + error locations,
+//!   correct whenever `#errors <= (e' - d - 1) / 2` over the `e'` symbols
+//!   actually received.
+//!
+//! ## Example
+//!
+//! ```
+//! use camelot_ff::PrimeField;
+//! use camelot_poly::Poly;
+//! use camelot_rscode::RsCode;
+//!
+//! let f = PrimeField::new(97)?;
+//! let proof = Poly::from_coeffs(&f, [7, 3, 1]); // degree d = 2
+//! let code = RsCode::consecutive(&f, 11);       // e = 11 evaluations
+//! let mut word: Vec<Option<u64>> = code.encode(&f, &proof).into_iter().map(Some).collect();
+//! word[4] = Some(55);                            // a byzantine node lies...
+//! word[9] = None;                                // ...and another crashes
+//! let decoded = code.decode(&f, &word, 2).unwrap();
+//! assert_eq!(decoded.poly, proof);
+//! assert_eq!(decoded.error_positions, vec![4]);  // the liar is identified
+//! # Ok::<(), camelot_ff::FieldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use camelot_ff::PrimeField;
+use camelot_poly::{interpolate, Poly};
+
+/// A nonsystematic Reed–Solomon code: `e` distinct evaluation points in
+/// `Z_q`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsCode {
+    points: Vec<u64>,
+    /// `G_0(x) = Π_i (x - x_i)`, precomputed for decoding.
+    g0: Poly,
+}
+
+/// Successful decode: the recovered message polynomial and the identified
+/// corruption pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decoded {
+    /// The recovered message polynomial (degree `<= degree_bound`).
+    pub poly: Poly,
+    /// Positions (indices into the code's point list) whose received
+    /// symbol disagreed with the decoded codeword — the byzantine nodes'
+    /// contributions.
+    pub error_positions: Vec<usize>,
+    /// Positions that were erased (crashed nodes); informational.
+    pub erasure_positions: Vec<usize>,
+}
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than `degree_bound + 1` symbols were received.
+    TooFewSymbols {
+        /// Number of non-erased symbols available.
+        received: usize,
+        /// Number of symbols needed to pin down the message.
+        needed: usize,
+    },
+    /// The Gao decoder asserted failure: the received word is further from
+    /// every codeword than the unique-decoding radius.
+    BeyondRadius,
+    /// The received word length did not match the code length.
+    LengthMismatch {
+        /// Symbols supplied by the caller.
+        got: usize,
+        /// Code length `e`.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TooFewSymbols { received, needed } => {
+                write!(f, "too few symbols: received {received}, need {needed}")
+            }
+            DecodeError::BeyondRadius => write!(f, "received word is beyond the unique-decoding radius"),
+            DecodeError::LengthMismatch { got, expected } => {
+                write!(f, "received word has {got} symbols, code length is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl RsCode {
+    /// Code over the consecutive points `0, 1, ..., e-1` — the evaluation
+    /// schedule (1) of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e > q` (points must be distinct field elements) or
+    /// `e == 0`.
+    #[must_use]
+    pub fn consecutive(field: &PrimeField, e: usize) -> Self {
+        assert!(e > 0, "code length must be positive");
+        assert!(
+            u64::try_from(e).is_ok_and(|e| e <= field.modulus()),
+            "code length exceeds field size"
+        );
+        Self::with_points(field, (0..e as u64).collect())
+    }
+
+    /// Code over caller-chosen distinct points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty; repeated points are caught in debug
+    /// builds.
+    #[must_use]
+    pub fn with_points(field: &PrimeField, points: Vec<u64>) -> Self {
+        assert!(!points.is_empty(), "code needs at least one point");
+        debug_assert!(
+            {
+                let mut s = points.clone();
+                s.sort_unstable();
+                s.windows(2).all(|w| w[0] != w[1])
+            },
+            "evaluation points must be distinct"
+        );
+        let g0 = vanishing_poly(field, &points);
+        RsCode { points, g0 }
+    }
+
+    /// Code length `e`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the code has no points (never constructible; kept for API
+    /// completeness alongside [`RsCode::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The evaluation points.
+    #[must_use]
+    pub fn points(&self) -> &[u64] {
+        &self.points
+    }
+
+    /// Maximum number of symbol errors correctable when all `e` symbols
+    /// arrive, for messages of degree `<= degree_bound`:
+    /// `(e - d - 1) / 2`.
+    #[must_use]
+    pub fn correction_radius(&self, degree_bound: usize) -> usize {
+        self.points.len().saturating_sub(degree_bound + 1) / 2
+    }
+
+    /// Encodes a message polynomial into the codeword
+    /// `(P(x_1), ..., P(x_e))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deg P >= e` (such a message is not uniquely decodable).
+    #[must_use]
+    pub fn encode(&self, field: &PrimeField, message: &Poly) -> Vec<u64> {
+        assert!(
+            message.degree().is_none_or(|d| d < self.points.len()),
+            "message degree must be below the code length"
+        );
+        self.points.iter().map(|&x| message.eval(field, x)).collect()
+    }
+
+    /// Decodes a received word. `None` entries are erasures (symbols never
+    /// received, e.g. from crashed nodes); `Some` entries may be corrupted.
+    ///
+    /// Succeeds whenever the number of *errors* among the `e'` received
+    /// symbols is at most `(e' - degree_bound - 1) / 2` (Gao's unique
+    /// decoding bound on the punctured code).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::LengthMismatch`] for a wrong-size word,
+    /// [`DecodeError::TooFewSymbols`] if fewer than `degree_bound + 1`
+    /// symbols survive, [`DecodeError::BeyondRadius`] if Gao's algorithm
+    /// asserts failure.
+    pub fn decode(
+        &self,
+        field: &PrimeField,
+        received: &[Option<u64>],
+        degree_bound: usize,
+    ) -> Result<Decoded, DecodeError> {
+        if received.len() != self.points.len() {
+            return Err(DecodeError::LengthMismatch {
+                got: received.len(),
+                expected: self.points.len(),
+            });
+        }
+        let mut xs = Vec::with_capacity(received.len());
+        let mut rs = Vec::with_capacity(received.len());
+        let mut erasure_positions = Vec::new();
+        for (i, sym) in received.iter().enumerate() {
+            match sym {
+                Some(v) => {
+                    xs.push(self.points[i]);
+                    rs.push(field.reduce(*v));
+                }
+                None => erasure_positions.push(i),
+            }
+        }
+        let e_prime = xs.len();
+        if e_prime < degree_bound + 1 {
+            return Err(DecodeError::TooFewSymbols {
+                received: e_prime,
+                needed: degree_bound + 1,
+            });
+        }
+        // G0 over the received points: reuse the precomputed full product
+        // when nothing was erased, otherwise rebuild on the subset.
+        let g0 = if erasure_positions.is_empty() {
+            self.g0.clone()
+        } else {
+            vanishing_poly(field, &xs)
+        };
+        // G1 interpolates the received values.
+        let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
+        let g1 = interpolate(field, &pts);
+        if g1.is_zero() {
+            // All received symbols are zero: the unique closest codeword is
+            // the zero polynomial (the Euclid below would divide by v = 0).
+            return Ok(Decoded {
+                poly: Poly::zero(),
+                error_positions: Vec::new(),
+                erasure_positions,
+            });
+        }
+        // Partial extended Euclid, stopping when deg g < (e' + d + 1)/2.
+        let stop = (e_prime + degree_bound + 2) / 2; // = ceil((e'+d+1)/2)
+        let (_, v, g) = g0.partial_xgcd(field, &g1, stop);
+        if v.is_zero() {
+            return Err(DecodeError::BeyondRadius);
+        }
+        let (p, r) = g.div_rem(field, &v);
+        if !r.is_zero() || p.degree().is_some_and(|d| d > degree_bound) {
+            return Err(DecodeError::BeyondRadius);
+        }
+        // Identify error locations by re-encoding.
+        let mut error_positions = Vec::new();
+        for (i, sym) in received.iter().enumerate() {
+            if let Some(v) = sym {
+                if p.eval(field, self.points[i]) != field.reduce(*v) {
+                    error_positions.push(i);
+                }
+            }
+        }
+        Ok(Decoded { poly: p, error_positions, erasure_positions })
+    }
+}
+
+/// `Π_i (x - x_i)` by incremental multiplication.
+fn vanishing_poly(field: &PrimeField, points: &[u64]) -> Poly {
+    let mut g = Poly::constant(1);
+    for &x in points {
+        let factor = Poly::from_reduced(vec![field.neg(field.reduce(x)), 1]);
+        g = g.mul(field, &factor);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{RngLike, SplitMix64};
+
+    fn f() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    fn random_message(field: &PrimeField, d: usize, rng: &mut SplitMix64) -> Poly {
+        Poly::from_reduced(
+            (0..=d)
+                .map(|i| {
+                    if i == d {
+                        1 + rng.next_u64() % (field.modulus() - 1)
+                    } else {
+                        rng.next_u64() % field.modulus()
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn encode_then_decode_clean() {
+        let field = f();
+        let mut rng = SplitMix64::new(1);
+        let msg = random_message(&field, 6, &mut rng);
+        let code = RsCode::consecutive(&field, 20);
+        let word: Vec<Option<u64>> = code.encode(&field, &msg).into_iter().map(Some).collect();
+        let out = code.decode(&field, &word, 6).unwrap();
+        assert_eq!(out.poly, msg);
+        assert!(out.error_positions.is_empty());
+        assert!(out.erasure_positions.is_empty());
+    }
+
+    #[test]
+    fn corrects_up_to_radius_and_identifies_errors() {
+        let field = f();
+        let mut rng = SplitMix64::new(2);
+        let d = 5;
+        let e = 24;
+        let code = RsCode::consecutive(&field, e);
+        let radius = code.correction_radius(d);
+        assert_eq!(radius, (e - d - 1) / 2);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        for errors in 0..=radius {
+            let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+            let mut expected = Vec::new();
+            for k in 0..errors {
+                let pos = (k * 5 + 1) % e;
+                word[pos] = Some(field.add(clean[pos], 1 + k as u64));
+                expected.push(pos);
+            }
+            expected.sort_unstable();
+            expected.dedup();
+            let out = code.decode(&field, &word, d).unwrap();
+            assert_eq!(out.poly, msg, "errors = {errors}");
+            assert_eq!(out.error_positions, expected);
+        }
+    }
+
+    #[test]
+    fn fails_beyond_radius() {
+        let field = f();
+        let mut rng = SplitMix64::new(3);
+        let d = 4;
+        let e = 13;
+        let code = RsCode::consecutive(&field, e);
+        let radius = code.correction_radius(d); // 4
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        for pos in 0..radius + 2 {
+            word[pos] = Some(field.add(clean[pos], 7));
+        }
+        match code.decode(&field, &word, d) {
+            Err(DecodeError::BeyondRadius) => {}
+            Ok(out) => assert_ne!(out.poly, msg, "if it decodes at all, it must miscorrect"),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn erasures_reduce_but_do_not_break_decoding() {
+        let field = f();
+        let mut rng = SplitMix64::new(4);
+        let d = 5;
+        let e = 30;
+        let code = RsCode::consecutive(&field, e);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        // 8 crashes + 5 corruptions: e' = 22, radius (22-6)/2 = 8 >= 5.
+        for pos in [0, 3, 6, 9, 12, 15, 18, 21] {
+            word[pos] = None;
+        }
+        for pos in [1, 4, 7, 10, 13] {
+            word[pos] = Some(field.add(clean[pos], 99));
+        }
+        let out = code.decode(&field, &word, d).unwrap();
+        assert_eq!(out.poly, msg);
+        assert_eq!(out.error_positions, vec![1, 4, 7, 10, 13]);
+        assert_eq!(out.erasure_positions, vec![0, 3, 6, 9, 12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn too_few_symbols_is_reported() {
+        let field = f();
+        let code = RsCode::consecutive(&field, 8);
+        let word: Vec<Option<u64>> = (0..8).map(|i| if i < 3 { Some(1) } else { None }).collect();
+        assert_eq!(
+            code.decode(&field, &word, 5),
+            Err(DecodeError::TooFewSymbols { received: 3, needed: 6 })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let field = f();
+        let code = RsCode::consecutive(&field, 8);
+        assert_eq!(
+            code.decode(&field, &[Some(1); 7], 2),
+            Err(DecodeError::LengthMismatch { got: 7, expected: 8 })
+        );
+    }
+
+    #[test]
+    fn arbitrary_points_roundtrip() {
+        let field = f();
+        let mut rng = SplitMix64::new(5);
+        let mut pts = std::collections::BTreeSet::new();
+        while pts.len() < 16 {
+            pts.insert(field.sample(&mut rng));
+        }
+        let code = RsCode::with_points(&field, pts.into_iter().collect());
+        let msg = random_message(&field, 7, &mut rng);
+        let mut word: Vec<Option<u64>> = code.encode(&field, &msg).into_iter().map(Some).collect();
+        word[2] = Some(0);
+        word[11] = Some(1);
+        let out = code.decode(&field, &word, 7).unwrap();
+        assert_eq!(out.poly, msg);
+        assert_eq!(out.error_positions.len(), 2);
+    }
+
+    #[test]
+    fn zero_message_decodes() {
+        let field = f();
+        let code = RsCode::consecutive(&field, 9);
+        let word: Vec<Option<u64>> = vec![Some(0); 9];
+        let out = code.decode(&field, &word, 3).unwrap();
+        assert!(out.poly.is_zero());
+    }
+
+    #[test]
+    fn random_error_patterns_within_radius_always_decode() {
+        let field = f();
+        let mut rng = SplitMix64::new(6);
+        for trial in 0..40 {
+            let d = 1 + (rng.next_u64() % 8) as usize;
+            let e = d + 3 + (rng.next_u64() % 20) as usize;
+            let code = RsCode::consecutive(&field, e);
+            let radius = code.correction_radius(d);
+            let errors = (rng.next_u64() as usize) % (radius + 1);
+            let msg = random_message(&field, d, &mut rng);
+            let clean = code.encode(&field, &msg);
+            let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+            let mut corrupted = std::collections::BTreeSet::new();
+            while corrupted.len() < errors {
+                corrupted.insert((rng.next_u64() as usize) % e);
+            }
+            for &pos in &corrupted {
+                word[pos] = Some(field.add(clean[pos], 1 + rng.next_u64() % 1000));
+            }
+            let out = code.decode(&field, &word, d).unwrap();
+            assert_eq!(out.poly, msg, "trial {trial}: d={d} e={e} errors={errors}");
+            assert_eq!(out.error_positions, corrupted.into_iter().collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Meeting the Alon–Yuster–Zwick bound in parallel (Theorem 5, §6.4).
+//!
+//! Split vertices at degree `Δ = m^{(ω-1)/(ω+1)}`:
+//!
+//! * triangles on **high**-degree vertices only — at most `2m/Δ` of
+//!   them — are counted by the split/sparse trace machinery on the
+//!   induced subgraph, per-node time `Õ(m)` on `O((m/Δ)^ω / m)` nodes;
+//! * triangles with a **low**-degree vertex are enumerated from their
+//!   minimum low-degree vertex, `Δ` parallel label-classes of `Õ(m)`
+//!   work each.
+//!
+//! Total time `O(m^{2ω/(ω+1)})`, per-node time and space `Õ(m)`.
+
+use crate::trace::TriangleSplit;
+use camelot_ff::{next_prime, PrimeField};
+use camelot_graph::Graph;
+use camelot_linalg::MatMulTensor;
+
+/// Work layout and result of an AYZ run.
+#[derive(Clone, Debug)]
+pub struct AyzRun {
+    /// The triangle count.
+    pub triangles: u64,
+    /// The degree threshold `Δ`.
+    pub delta: usize,
+    /// Number of high-degree vertices (`<= 2m/Δ`).
+    pub high_vertices: usize,
+    /// Triangles entirely inside the high-degree subgraph.
+    pub high_triangles: u64,
+    /// Triangles with at least one low-degree vertex.
+    pub low_triangles: u64,
+    /// Parallel nodes used by the dense (high-high-high) phase.
+    pub dense_nodes: usize,
+    /// Parallel nodes used by the low-degree enumeration (`Δ` classes).
+    pub low_nodes: usize,
+}
+
+/// Counts triangles with the AYZ high/low-degree split.
+///
+/// # Panics
+///
+/// Panics on graphs with more than `2^20` edges (field sizing).
+#[must_use]
+pub fn count_triangles_ayz(g: &Graph, tensor: &MatMulTensor) -> AyzRun {
+    let m = g.edge_count();
+    let n = g.vertex_count();
+    if m == 0 {
+        return AyzRun {
+            triangles: 0,
+            delta: 0,
+            high_vertices: 0,
+            high_triangles: 0,
+            low_triangles: 0,
+            dense_nodes: 0,
+            low_nodes: 0,
+        };
+    }
+    let omega = tensor.omega();
+    let delta = ((m as f64).powf((omega - 1.0) / (omega + 1.0)).ceil() as usize).max(1);
+    // Partition.
+    let mut is_high = vec![false; n];
+    for v in 0..n {
+        is_high[v] = g.degree(v) > delta;
+    }
+    let high: Vec<usize> = (0..n).filter(|&v| is_high[v]).collect();
+
+    // Phase 1: high-high-high triangles via the split/sparse trace on the
+    // induced subgraph.
+    let (high_triangles, dense_nodes) = if high.len() >= 3 {
+        let mut relabel = vec![usize::MAX; n];
+        for (idx, &v) in high.iter().enumerate() {
+            relabel[v] = idx;
+        }
+        let mut hg = Graph::new(high.len());
+        for &(u, v) in g.edges() {
+            if is_high[u] && is_high[v] {
+                hg.add_edge(relabel[u], relabel[v]);
+            }
+        }
+        if hg.edge_count() == 0 {
+            (0, 0)
+        } else {
+            let split = TriangleSplit::new(&hg, tensor);
+            let q = next_prime(((split.padded_size() as u64).pow(3) + 10).max(1 << 20));
+            let field = PrimeField::new_unchecked(q);
+            (split.count_triangles(&field), split.part_count())
+        }
+    } else {
+        (0, 0)
+    };
+
+    // Phase 2: triangles owned by their minimum low-degree vertex; the Δ
+    // label classes partition the per-vertex neighbor scans across Δ
+    // parallel nodes, each Õ(m).
+    let mut low_triangles = 0u64;
+    for x in 0..n {
+        if is_high[x] {
+            continue;
+        }
+        let nb = g.neighbors(x);
+        let mut ys = nb;
+        while ys != 0 {
+            let y = ys.trailing_zeros() as usize;
+            ys &= ys - 1;
+            // Common neighbors z of x and y with z > y (dedupe the y-z pair).
+            let mut zs = nb & g.neighbors(y);
+            zs &= if y >= 63 { 0 } else { !((1u64 << (y + 1)) - 1) };
+            while zs != 0 {
+                let z = zs.trailing_zeros() as usize;
+                zs &= zs - 1;
+                // Count (x, y, z) at its minimum low-degree vertex.
+                if (!is_high[y] && y < x) || (!is_high[z] && z < x) {
+                    continue;
+                }
+                low_triangles += 1;
+            }
+        }
+    }
+
+    AyzRun {
+        triangles: high_triangles + low_triangles,
+        delta,
+        high_vertices: high.len(),
+        high_triangles,
+        low_triangles,
+        dense_nodes,
+        low_nodes: delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_graph::{count_triangles, gen};
+
+    fn tensor() -> MatMulTensor {
+        MatMulTensor::strassen()
+    }
+
+    #[test]
+    fn matches_reference_on_known_graphs() {
+        for g in [
+            gen::complete(9),
+            gen::petersen(),
+            gen::cycle(8),
+            gen::star(10),
+            gen::complete_bipartite(4, 5),
+        ] {
+            let run = count_triangles_ayz(&g, &tensor());
+            assert_eq!(run.triangles, count_triangles(&g), "graph {g}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_sweep() {
+        for seed in 0..6 {
+            for m in [10usize, 30, 60, 100] {
+                let g = gen::gnm(16, m, seed);
+                let run = count_triangles_ayz(&g, &tensor());
+                assert_eq!(run.triangles, count_triangles(&g), "seed {seed} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let run = count_triangles_ayz(&Graph::new(5), &tensor());
+        assert_eq!(run.triangles, 0);
+        assert_eq!(run.low_nodes, 0);
+    }
+
+    #[test]
+    fn high_degree_partition_is_bounded() {
+        let g = gen::gnm(20, 80, 3);
+        let run = count_triangles_ayz(&g, &tensor());
+        assert!(run.high_vertices <= 2 * 80 / run.delta.max(1));
+        assert_eq!(run.low_nodes, run.delta);
+    }
+
+    #[test]
+    fn star_has_low_center_but_no_triangles() {
+        // The star's center has high degree; leaves are low.
+        let run = count_triangles_ayz(&gen::star(20), &tensor());
+        assert_eq!(run.triangles, 0);
+        assert_eq!(run.high_triangles, 0);
+        assert_eq!(run.low_triangles, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Theorem 1 in action: counting 6-cliques with the (6 2)-linear form,
+//! sweeping the node count to show the smooth E = T/K tradeoff.
+//!
+//! ```sh
+//! cargo run --release --example clique_census
+//! ```
+
+use camelot::cliques::{count_cliques_nesetril_poljak, KCliqueCount};
+use camelot::core::{CamelotProblem, Engine};
+use camelot::graph::{count_k_cliques, gen};
+
+fn main() {
+    let graph = gen::planted_clique(8, 8, 6, 99);
+    let brute = count_k_cliques(&graph, 6);
+    let np = count_cliques_nesetril_poljak(&graph, 6);
+    println!("input: {graph}; 6-cliques by brute force = {brute}, by Nešetřil–Poljak = {np}");
+
+    let problem = KCliqueCount::new(graph, 6);
+    println!(
+        "χ matrix N = {} (padded), rank R = {}, proof degree 3R-3 = {}",
+        problem.padded_size(),
+        problem.rank(),
+        problem.spec().degree_bound
+    );
+    println!("\n  K nodes | per-node evals E | E*K");
+    println!("  --------+------------------+------");
+    for k in [1usize, 4, 16, 64] {
+        let outcome = Engine::sequential(k, 2).run(&problem).expect("honest run");
+        assert_eq!(outcome.output.to_u64(), Some(brute));
+        println!(
+            "  {k:>7} | {:>16} | {:>5}",
+            outcome.report.max_node_evaluations,
+            outcome.report.max_node_evaluations * k
+        );
+    }
+    println!("\nsame proof, same answer, smoothly spread over K Knights (§1.4).");
+}

@@ -1,0 +1,36 @@
+//! The Merlin–Arthur reading (§1.5): should Merlin materialize, he can
+//! supply the proof instantaneously; Arthur verifies with a handful of
+//! random evaluations — and catches a lying Merlin.
+//!
+//! ```sh
+//! cargo run --release --example merlin_arthur
+//! ```
+
+use camelot::algebraic::Permanent;
+use camelot::core::{arthur_verify, merlin_prove, CamelotProblem};
+use camelot::ff::PrimeField;
+
+fn main() {
+    let problem = Permanent::random(8, 5, 2024);
+    println!("input: random 8x8 integer matrix, entries in [-5, 5]");
+
+    // Merlin computes the proof coefficients directly.
+    let proofs = merlin_prove(&problem).expect("Merlin does not fail");
+    let size: usize = proofs.iter().map(|p| p.coefficients.len()).sum();
+    println!("Merlin's proof: {} prime fields, {size} coefficients total", proofs.len());
+
+    // Arthur verifies with 8 spot checks per prime.
+    arthur_verify(&problem, &proofs, 8, 42).expect("honest Merlin accepted");
+    let permanent = problem.recover(&proofs).expect("recovery");
+    println!("per(A) = {permanent} (matches Ryser: {})", problem.reference_permanent());
+    assert_eq!(permanent, problem.reference_permanent());
+
+    // A lying Merlin flips one coefficient...
+    let mut lying = proofs.clone();
+    let f = PrimeField::new_unchecked(lying[0].modulus);
+    lying[0].coefficients[3] = f.add(lying[0].coefficients[3], 1);
+    match arthur_verify(&problem, &lying, 8, 42) {
+        Err(e) => println!("lying Merlin rejected: {e}"),
+        Ok(()) => unreachable!("soundness error is ~d/q per trial, 8 trials"),
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-validation: independent implementations of the same quantity
+//! must agree (the strongest correctness signal the repo has).
+
+use camelot::cliques::{count_cliques_circuit, count_cliques_nesetril_poljak};
+use camelot::core::Engine;
+use camelot::ff::{next_prime, IBig, PrimeField};
+use camelot::graph::{chromatic::chromatic_value_mod, count_k_cliques, count_triangles, gen,
+                     tutte::{eval_tutte_mod, tutte_coefficients}, MultiGraph};
+use camelot::linalg::MatMulTensor;
+use camelot::partition::{chromatic_polynomial, eval_integer, tutte_polynomial};
+use camelot::triangles::{count_triangles_ayz, TriangleSplit};
+
+#[test]
+fn four_triangle_counters_agree() {
+    let tensor = MatMulTensor::strassen();
+    for seed in 0..5 {
+        for m in [15usize, 40, 80] {
+            let g = gen::gnm(14, m, seed);
+            let bitset = count_triangles(&g);
+            let ayz = count_triangles_ayz(&g, &tensor).triangles;
+            let split = TriangleSplit::new(&g, &tensor);
+            let q = next_prime(((split.padded_size() as u64).pow(3) + 1).max(1 << 20));
+            let field = PrimeField::new(q).unwrap();
+            let trace = split.count_triangles(&field);
+            let k3 = count_k_cliques(&g, 3);
+            assert_eq!(bitset, ayz, "seed {seed} m {m}");
+            assert_eq!(bitset, trace, "seed {seed} m {m}");
+            assert_eq!(bitset, k3, "seed {seed} m {m}");
+        }
+    }
+}
+
+#[test]
+fn three_clique_counters_agree() {
+    let tensor = MatMulTensor::strassen();
+    for seed in 0..3 {
+        let g = gen::gnp(8, u32::MAX / 10 * 9, seed);
+        let brute = count_k_cliques(&g, 6);
+        assert_eq!(count_cliques_nesetril_poljak(&g, 6).to_u64(), Some(brute), "seed {seed}");
+        assert_eq!(count_cliques_circuit(&g, 6, &tensor).to_u64(), Some(brute), "seed {seed}");
+    }
+}
+
+#[test]
+fn chromatic_three_ways() {
+    // Camelot interpolated polynomial vs the 2^n inclusion–exclusion
+    // oracle vs the Tutte specialization χ(t) = (-1)^{n-c} t^c T(1-t, 0).
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    let engine = Engine::sequential(4, 2);
+    for g in [gen::cycle(6), gen::gnm(7, 12, 8)] {
+        let outcome = chromatic_polynomial(&g, &engine).unwrap();
+        let mg = MultiGraph::from_graph(&g);
+        let tutte = tutte_coefficients(&mg);
+        let n = g.vertex_count() as u64;
+        let c = mg.component_count() as u64;
+        for t in 1..=4u64 {
+            let via_camelot = {
+                let v = eval_integer(&outcome.coefficients, t as i64);
+                v.rem_euclid_u64(field.modulus())
+            };
+            let via_ie = chromatic_value_mod(&g, t, &field);
+            let via_tutte = {
+                let x = field.from_i64(1 - t as i64);
+                let tv = eval_tutte_mod(&tutte, x, 0, &field);
+                let mut val = field.mul(field.pow(t, c), tv);
+                if (n - c) % 2 == 1 {
+                    val = field.neg(val);
+                }
+                val
+            };
+            assert_eq!(via_camelot, via_ie, "graph {g} t {t}");
+            assert_eq!(via_camelot, via_tutte, "graph {g} t {t}");
+        }
+    }
+}
+
+#[test]
+fn tutte_specializations_count_structures() {
+    // T(1,1) = spanning trees; T(2,1) = forests; T(1,2) = connected
+    // spanning subgraphs; T(2,2) = 2^m — all from the Camelot pipeline.
+    let engine = Engine::sequential(3, 2);
+    let g = gen::cycle(5); // 5 spanning trees, 2^5 subsets
+    let mg = MultiGraph::from_graph(&g);
+    let outcome = tutte_polynomial(&mg, &engine).unwrap();
+    let eval = |x: i64, y: i64| -> i64 {
+        camelot::partition::eval_tutte(&outcome.coefficients, x, y).to_i64().unwrap()
+    };
+    assert_eq!(eval(1, 1), 5, "spanning trees of C5");
+    assert_eq!(eval(2, 2), 32, "2^m");
+    // forests of C5: all 2^5 - 1 proper subsets are acyclic = 31.
+    assert_eq!(eval(2, 1), 31, "spanning forests");
+    assert_eq!(eval(1, 2), 6, "connected spanning subgraphs (C5 itself + 5 paths)");
+}
+
+#[test]
+fn permanent_of_01_matrices_counts_perfect_matchings() {
+    // The permanent of a bipartite adjacency matrix counts perfect
+    // matchings; cross-check against Hamiltonian-cycle-free structure:
+    // K_{3,3}'s bipartite adjacency (all ones 3x3) has per = 3! = 6.
+    use camelot::algebraic::Permanent;
+    let p = Permanent::new(3, vec![1; 9]);
+    assert_eq!(p.reference_permanent(), IBig::from_i64(6));
+    let outcome = Engine::sequential(3, 2).run(&p).unwrap();
+    assert_eq!(outcome.output, IBig::from_i64(6));
+}
+
+#[test]
+fn hamming_marginals_match_ov() {
+    // c_{i,0} with B vs OV count with B-complement: distance 0 rows are
+    // exactly equal rows; cross-check h-sums against n.
+    use camelot::algebraic::{BoolMatrix, HammingDistribution};
+    let a = BoolMatrix::random(6, 4, 50, 3);
+    let b = BoolMatrix::random(6, 4, 50, 4);
+    let problem = HammingDistribution::new(a.clone(), b.clone());
+    let dist = Engine::sequential(3, 2).run(&problem).unwrap().output;
+    for (i, row) in dist.iter().enumerate() {
+        assert_eq!(row.iter().sum::<u64>(), 6, "row {i} sums to n");
+        // distance-0 count = number of identical rows of B.
+        let equal = (0..6)
+            .filter(|&k| (0..4).all(|j| a.get(i, j) == b.get(k, j)))
+            .count() as u64;
+        assert_eq!(row[0], equal, "row {i} distance-0 count");
+    }
+}

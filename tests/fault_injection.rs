@@ -1,0 +1,124 @@
+//! Failure-injection boundary tests: every fault kind, at and beyond the
+//! unique-decoding radius, plus certificate shipping.
+
+use camelot::algebraic::{BoolMatrix, OrthogonalVectors};
+use camelot::cluster::{FaultKind, FaultPlan};
+use camelot::core::{
+    spot_check, CamelotError, CamelotProblem, Certificate, Engine, EngineConfig,
+};
+use camelot::graph::{count_triangles, gen};
+use camelot::triangles::TriangleCount;
+
+fn problem() -> (TriangleCount, u64) {
+    let g = gen::gnm(10, 22, 13);
+    let t = count_triangles(&g);
+    (TriangleCount::new(&g), t)
+}
+
+/// One node per symbol makes the error count exactly controllable.
+fn one_symbol_per_node(spec_d: usize, budget: usize) -> usize {
+    spec_d + 1 + 2 * budget
+}
+
+#[test]
+fn exactly_at_the_radius_every_fault_kind_decodes() {
+    let (p, expect) = problem();
+    let d = p.spec().degree_bound;
+    let budget = 3usize;
+    let nodes = one_symbol_per_node(d, budget); // e == nodes: 1 symbol each
+    for kind in [
+        FaultKind::Corrupt { seed: 5 },
+        FaultKind::Adversarial { offset: 1 },
+        FaultKind::Equivocate { seed: 6 },
+    ] {
+        // Exactly `budget` faulty nodes = exactly `budget` symbol errors.
+        let faults: Vec<(usize, FaultKind)> = (0..budget).map(|i| (i * 7 + 1, kind)).collect();
+        let plan = FaultPlan::with_faults(nodes, &faults);
+        let config =
+            EngineConfig::sequential(nodes, budget).with_plan(plan).with_full_decoding();
+        let outcome = Engine::new(config).run(&p).expect("exactly at the radius");
+        assert_eq!(outcome.output, expect, "kind {kind:?}");
+        assert_eq!(
+            outcome.certificate.identified_faulty_nodes,
+            faults.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            "kind {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn one_error_past_the_radius_fails_loudly() {
+    let (p, _) = problem();
+    let d = p.spec().degree_bound;
+    let budget = 3usize;
+    let nodes = one_symbol_per_node(d, budget);
+    let faults: Vec<(usize, FaultKind)> =
+        (0..budget + 1).map(|i| (i * 5 + 2, FaultKind::Corrupt { seed: 9 })).collect();
+    let plan = FaultPlan::with_faults(nodes, &faults);
+    let config = EngineConfig::sequential(nodes, budget).with_plan(plan);
+    assert!(matches!(
+        Engine::new(config).run(&p),
+        Err(CamelotError::DecodeFailed { .. } | CamelotError::VerificationFailed { .. })
+    ));
+}
+
+#[test]
+fn crashes_cost_one_erasure_each() {
+    // 2f = 6 budget: up to 6 erasures decode (vs only 3 errors).
+    let (p, expect) = problem();
+    let d = p.spec().degree_bound;
+    let budget = 3usize;
+    let nodes = one_symbol_per_node(d, budget);
+    let faults: Vec<(usize, FaultKind)> =
+        (0..2 * budget).map(|i| (i * 3 + 1, FaultKind::Crash)).collect();
+    let plan = FaultPlan::with_faults(nodes, &faults);
+    let config = EngineConfig::sequential(nodes, budget).with_plan(plan).with_full_decoding();
+    let outcome = Engine::new(config).run(&p).expect("2f erasures are decodable");
+    assert_eq!(outcome.output, expect);
+    assert_eq!(outcome.certificate.crashed_nodes.len(), 2 * budget);
+}
+
+#[test]
+fn all_honest_nodes_see_equivocation_differently_yet_agree() {
+    let (p, expect) = problem();
+    let d = p.spec().degree_bound;
+    let nodes = one_symbol_per_node(d, 2);
+    let plan = FaultPlan::with_faults(nodes, &[(4, FaultKind::Equivocate { seed: 1 })]);
+    let config = EngineConfig::sequential(nodes, 2).with_plan(plan).with_full_decoding();
+    let outcome = Engine::new(config).run(&p).expect("one equivocator within radius");
+    assert_eq!(outcome.output, expect);
+    assert_eq!(outcome.certificate.identified_faulty_nodes, vec![4]);
+}
+
+#[test]
+fn certificate_survives_the_wire_and_still_verifies() {
+    let a = BoolMatrix::random(8, 5, 40, 3);
+    let b = BoolMatrix::random(8, 5, 40, 4);
+    let ov = OrthogonalVectors::new(a, b);
+    let outcome = Engine::sequential(4, 2).run(&ov).unwrap();
+    // Ship the certificate as text; an independent verifier re-parses,
+    // spot-checks, and recovers — no trust in the producing cluster.
+    let wire = outcome.certificate.to_wire();
+    let parsed = Certificate::from_wire(&wire).unwrap();
+    assert_eq!(parsed, outcome.certificate);
+    for proof in &parsed.proofs {
+        let report = spot_check(&ov, proof, 4, 99).unwrap();
+        assert!(report.accepted);
+    }
+    assert_eq!(ov.recover(&parsed.proofs).unwrap(), ov.reference_counts());
+}
+
+#[test]
+fn tampered_wire_certificate_is_rejected_by_spot_check() {
+    let a = BoolMatrix::random(6, 4, 50, 7);
+    let b = BoolMatrix::random(6, 4, 50, 8);
+    let ov = OrthogonalVectors::new(a, b);
+    let outcome = Engine::sequential(3, 1).run(&ov).unwrap();
+    let mut cert = outcome.certificate;
+    // Flip one coefficient and re-ship.
+    let q = cert.proofs[0].modulus;
+    cert.proofs[0].coefficients[0] = (cert.proofs[0].coefficients[0] + 1) % q;
+    let parsed = Certificate::from_wire(&cert.to_wire()).unwrap();
+    let report = spot_check(&ov, &parsed.proofs[0], 6, 5).unwrap();
+    assert!(!report.accepted, "tampered proof must fail the spot check");
+}

@@ -1,0 +1,120 @@
+//! Property-based tests (proptest) on the framework's core invariants.
+
+use camelot::ff::{crt_i, crt_u, IBig, PrimeField, Residue, UBig};
+use camelot::poly::{interpolate, Poly};
+use camelot::rscode::RsCode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode(encode(P) + any error pattern within radius) == P, with the
+    /// error positions identified exactly.
+    #[test]
+    fn rs_roundtrip_within_radius(
+        coeffs in prop::collection::vec(0u64..1_000_000_007, 1..12),
+        extra in 2usize..24,
+        err_seed in any::<u64>(),
+    ) {
+        let field = PrimeField::new(1_000_000_007).unwrap();
+        let msg = Poly::from_coeffs(&field, coeffs);
+        let d = msg.degree().unwrap_or(0);
+        let e = d + 1 + extra;
+        let code = RsCode::consecutive(&field, e);
+        let clean = code.encode(&field, &msg);
+        let radius = code.correction_radius(d);
+        // Pseudorandom error pattern within the radius.
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        let mut positions = std::collections::BTreeSet::new();
+        let mut s = err_seed;
+        while positions.len() < radius {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            positions.insert((s >> 33) as usize % e);
+        }
+        for &p in &positions {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            word[p] = Some(field.add(clean[p], 1 + (s >> 33) % 1000));
+        }
+        let decoded = code.decode(&field, &word, d).unwrap();
+        prop_assert_eq!(&decoded.poly, &msg);
+        prop_assert_eq!(decoded.error_positions, positions.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Interpolation is a left inverse of evaluation.
+    #[test]
+    fn interpolation_inverts_evaluation(
+        coeffs in prop::collection::vec(0u64..65_537, 1..20),
+    ) {
+        let field = PrimeField::new(65_537).unwrap();
+        let p = Poly::from_coeffs(&field, coeffs);
+        let n = p.degree().map_or(1, |d| d + 1);
+        let pts: Vec<(u64, u64)> = (0..n as u64).map(|x| (x, p.eval(&field, x))).collect();
+        prop_assert_eq!(interpolate(&field, &pts), p);
+    }
+
+    /// CRT round-trips arbitrary u128 values through 3 large primes.
+    #[test]
+    fn crt_roundtrip_u128(x in any::<u128>()) {
+        let primes = camelot::ff::primes_above(1 << 61, 3);
+        let residues: Vec<Residue> = primes
+            .iter()
+            .map(|&q| Residue { modulus: q, value: (x % u128::from(q)) as u64 })
+            .collect();
+        prop_assert_eq!(crt_u(&residues).to_u128(), Some(x));
+    }
+
+    /// Signed CRT round-trips i64 values (symmetric lift).
+    #[test]
+    fn crt_roundtrip_signed(x in any::<i64>()) {
+        let primes = camelot::ff::primes_above(1 << 40, 2);
+        let residues: Vec<Residue> = primes
+            .iter()
+            .map(|&q| Residue { modulus: q, value: x.rem_euclid(q as i64) as u64 })
+            .collect();
+        prop_assert_eq!(crt_i(&residues).to_i64(), Some(x));
+    }
+
+    /// UBig arithmetic agrees with u128 where comparable.
+    #[test]
+    fn ubig_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (UBig::from_u64(a), UBig::from_u64(b));
+        prop_assert_eq!(ba.add(&bb).to_u128(), Some(u128::from(a) + u128::from(b)));
+        prop_assert_eq!(ba.mul(&bb).to_u128(), Some(u128::from(a) * u128::from(b)));
+        if a >= b {
+            prop_assert_eq!(ba.sub(&bb).to_u64(), Some(a - b));
+        }
+        if b != 0 {
+            let (q, r) = ba.div_rem_u64(b);
+            prop_assert_eq!(q.to_u64(), Some(a / b));
+            prop_assert_eq!(r, a % b);
+        }
+    }
+
+    /// IBig ring laws on random i64 triples.
+    #[test]
+    fn ibig_ring_laws(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        let (ia, ib, ic) = (IBig::from_i64(a.into()), IBig::from_i64(b.into()), IBig::from_i64(c.into()));
+        // (a + b) * c == a*c + b*c
+        prop_assert_eq!(
+            ia.add(&ib).mul(&ic),
+            ia.mul(&ic).add(&ib.mul(&ic))
+        );
+        // a - a == 0, a * 1 == a
+        prop_assert!(ia.sub(&ia).is_zero());
+        prop_assert_eq!(ia.mul(&IBig::from_i64(1)), ia);
+    }
+
+    /// Field axioms under random triples.
+    #[test]
+    fn field_axioms(a in 0u64..4_294_967_291, b in 0u64..4_294_967_291, c in 0u64..4_294_967_291) {
+        let f = PrimeField::new(4_294_967_291).unwrap(); // largest 32-bit prime
+        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        prop_assert_eq!(f.add(a, b), f.add(b, a));
+        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
+        prop_assert_eq!(f.sub(f.add(a, b), b), a);
+        if a != 0 {
+            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+        prop_assert_eq!(f.pow(a, 4_294_967_290), if a == 0 { 0 } else { 1 });
+    }
+}
