@@ -154,8 +154,7 @@ impl CamelotProblem for CountCnfSat {
             // literal of clause j].
             let basis = lagrange_basis_at(&f, n, x0);
             let mut z = vec![0u64; m];
-            for i in 0..n {
-                let w = basis[i];
+            for (i, &w) in basis.iter().enumerate().take(n) {
                 if w == 0 {
                     continue;
                 }

@@ -53,9 +53,8 @@ impl Convolution3Sum {
         let half = self.values.len() / 2;
         (1..=half)
             .map(|i| {
-                (1..=half)
-                    .filter(|&l| self.value(i) + self.value(l) == self.value(i + l))
-                    .count() as u64
+                (1..=half).filter(|&l| self.value(i) + self.value(l) == self.value(i + l)).count()
+                    as u64
             })
             .collect()
     }
@@ -88,10 +87,7 @@ fn adder_indicator(f: &PrimeField, y: &[u64], z: &[u64], w: &[u64]) -> u64 {
         let s = sum_gadget(f, y[j], z[j], carry);
         let m = majority_gadget(f, y[j], z[j], carry);
         // (1 - w_j)(1 - s) + w_j s
-        let match_j = f.add(
-            f.mul(f.sub(1, w[j]), f.sub(1, s)),
-            f.mul(w[j], s),
-        );
+        let match_j = f.add(f.mul(f.sub(1, w[j]), f.sub(1, s)), f.mul(w[j], s));
         prod = f.mul(prod, match_j);
         carry = m;
     }
@@ -153,11 +149,8 @@ impl CamelotProblem for Convolution3Sum {
         let half = n / 2;
         // Bits of each array entry, fixed (exact) — used for A(ℓ) and for
         // the barycentric combination.
-        let bits: Vec<Vec<u64>> = self
-            .values
-            .iter()
-            .map(|&v| (0..t).map(|j| v >> j & 1).collect())
-            .collect();
+        let bits: Vec<Vec<u64>> =
+            self.values.iter().map(|&v| (0..t).map(|j| v >> j & 1).collect()).collect();
         Box::new(move |x0: u64| {
             // A(x0) by barycentric evaluation over nodes 1..n.
             let eval_at = |x: u64| -> Vec<u64> {
@@ -191,15 +184,13 @@ impl CamelotProblem for Convolution3Sum {
     }
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<Vec<u64>, CamelotError> {
-        let proof = proofs.first().ok_or_else(|| CamelotError::MalformedProof {
-            reason: "no prime proofs".into(),
-        })?;
+        let proof = proofs
+            .first()
+            .ok_or_else(|| CamelotError::MalformedProof { reason: "no prime proofs".into() })?;
         let half = self.n() as u64 / 2;
         let counts: Vec<u64> = (1..=half).map(|i| proof.eval(i)).collect();
         if counts.iter().any(|&c| c > half) {
-            return Err(CamelotError::RecoveryFailed {
-                reason: "a count exceeded n/2".into(),
-            });
+            return Err(CamelotError::RecoveryFailed { reason: "a count exceeded n/2".into() });
         }
         Ok(counts)
     }

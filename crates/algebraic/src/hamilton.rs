@@ -108,9 +108,9 @@ impl CamelotProblem for HamiltonianCycles {
                 if w == 0 {
                     continue;
                 }
-                for j in 0..h1 {
+                for (j, zj) in z.iter_mut().enumerate().take(h1) {
                     if i >> j & 1 == 1 {
-                        z[j] = f.add(z[j], w);
+                        *zj = f.add(*zj, w);
                     }
                 }
             }
@@ -138,8 +138,7 @@ impl CamelotProblem for HamiltonianCycles {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let points = 1u64 << self.h1();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, points)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, points)).collect();
         let directed = crt_i(&residues);
         if directed.is_negative() {
             return Err(CamelotError::RecoveryFailed {

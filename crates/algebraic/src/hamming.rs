@@ -103,9 +103,9 @@ impl CamelotProblem for HammingDistribution {
                 let i = point / (t + 1) - 1; // row index, 0-based
                 let h = point % (t + 1);
                 debug_assert!(i < n);
-                for j in 0..t {
+                for (j, zj) in z.iter_mut().enumerate().take(t) {
                     if a.get(i, j) {
-                        z[j] = f.add(z[j], weight);
+                        *zj = f.add(*zj, weight);
                     }
                 }
                 for ell in 1..=t {
@@ -137,9 +137,9 @@ impl CamelotProblem for HammingDistribution {
     }
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<Vec<Vec<u64>>, CamelotError> {
-        let proof = proofs.first().ok_or_else(|| CamelotError::MalformedProof {
-            reason: "no prime proofs".into(),
-        })?;
+        let proof = proofs
+            .first()
+            .ok_or_else(|| CamelotError::MalformedProof { reason: "no prime proofs".into() })?;
         let field = PrimeField::new_unchecked(proof.modulus);
         let (n, t) = (self.a.rows(), self.a.cols());
         let mut out = Vec::with_capacity(n);

@@ -107,9 +107,8 @@ impl OrthogonalVectors {
         let (n, t) = (self.a.rows, self.a.cols);
         (0..n)
             .map(|i| {
-                (0..n)
-                    .filter(|&k| (0..t).all(|j| !(self.a.get(i, j) && self.b.get(k, j))))
-                    .count() as u64
+                (0..n).filter(|&k| (0..t).all(|j| !(self.a.get(i, j) && self.b.get(k, j)))).count()
+                    as u64
             })
             .collect()
     }
@@ -141,8 +140,7 @@ impl CamelotProblem for OrthogonalVectors {
             // cost stays linear in the input (§A.1/§A.2 of the paper).
             let basis = lagrange_basis_at(&f, n, x0);
             let mut z = vec![0u64; t];
-            for i in 0..n {
-                let w = basis[i];
+            for (i, &w) in basis.iter().enumerate().take(n) {
                 if w == 0 {
                     continue;
                 }
@@ -170,9 +168,9 @@ impl CamelotProblem for OrthogonalVectors {
     }
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<Vec<u64>, CamelotError> {
-        let proof = proofs.first().ok_or_else(|| CamelotError::MalformedProof {
-            reason: "no prime proofs".into(),
-        })?;
+        let proof = proofs
+            .first()
+            .ok_or_else(|| CamelotError::MalformedProof { reason: "no prime proofs".into() })?;
         let n = self.a.rows as u64;
         let counts: Vec<u64> = (1..=n).map(|i| proof.eval(i)).collect();
         if counts.iter().any(|&c| c > n) {

@@ -65,8 +65,7 @@ impl Permanent {
         use camelot_ff::{RngLike, SplitMix64};
         let mut rng = SplitMix64::new(seed);
         let width = 2 * spread + 1;
-        let entries =
-            (0..n * n).map(|_| (rng.next_u64() % width) as i64 - spread as i64).collect();
+        let entries = (0..n * n).map(|_| (rng.next_u64() % width) as i64 - spread as i64).collect();
         Permanent::new(n, entries)
     }
 
@@ -218,8 +217,7 @@ impl CamelotProblem for Permanent {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<IBig, CamelotError> {
         let points = 1u64 << self.half();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, points)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, points)).collect();
         Ok(crt_i(&residues))
     }
 }

@@ -139,13 +139,10 @@ impl CamelotProblem for SetCovers {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let points = 1u64 << self.h1();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, points)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, points)).collect();
         let value = crt_i(&residues);
         if value.is_negative() {
-            return Err(CamelotError::RecoveryFailed {
-                reason: "negative cover count".into(),
-            });
+            return Err(CamelotError::RecoveryFailed { reason: "negative cover count".into() });
         }
         Ok(value.magnitude().clone())
     }
@@ -180,11 +177,7 @@ mod tests {
                 let problem = SetCovers::new(n, family.clone(), t);
                 let expect = problem.reference_count();
                 let outcome = Engine::sequential(4, 2).run(&problem).unwrap();
-                assert_eq!(
-                    outcome.output.to_u128(),
-                    Some(expect),
-                    "seed {seed} t {t}"
-                );
+                assert_eq!(outcome.output.to_u128(), Some(expect), "seed {seed} t {t}");
             }
         }
     }
@@ -212,9 +205,6 @@ mod tests {
         let problem = SetCovers::new(5, vec![0b00111, 0b11000, 0b10101, 0b01010], 2);
         let proofs = merlin_prove(&problem).unwrap();
         arthur_verify(&problem, &proofs, 4, 3).unwrap();
-        assert_eq!(
-            problem.recover(&proofs).unwrap().to_u128(),
-            Some(problem.reference_count())
-        );
+        assert_eq!(problem.recover(&proofs).unwrap().to_u128(), Some(problem.reference_count()));
     }
 }

@@ -1,7 +1,7 @@
 //! Criterion benches for E6/E7: chromatic and Potts per-node evaluation
 //! vs the sequential baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_core::CamelotProblem;
 use camelot_ff::{next_prime, PrimeField};
 use camelot_graph::{chromatic::chromatic_value_mod, gen, MultiGraph};

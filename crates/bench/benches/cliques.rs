@@ -1,7 +1,7 @@
 //! Criterion benches for E1/E2: the (6 2)-linear form evaluators and the
 //! per-node clique proof evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_cliques::{clique_chi, Form62};
 use camelot_ff::PrimeField;
 use camelot_graph::gen;

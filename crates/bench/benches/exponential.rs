@@ -1,8 +1,8 @@
 //! Criterion benches for E8/E9: per-node evaluation of the exponential
 //! designs vs their sequential baselines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_algebraic::{CnfFormula, CountCnfSat, Permanent, SetCovers};
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_core::CamelotProblem;
 use camelot_ff::{next_prime, PrimeField};
 

@@ -2,7 +2,7 @@
 //! Reed–Solomon encode/decode (the per-node §1.3 costs), and Yates
 //! transforms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_ff::{PrimeField, RngLike, SplitMix64};
 use camelot_linalg::{yates, SmallMatrix};
 use camelot_poly::Poly;

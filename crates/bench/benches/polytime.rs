@@ -1,13 +1,18 @@
 //! Criterion benches for E10/E11: per-node evaluation of the
 //! polynomial-time designs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_algebraic::{BoolMatrix, Convolution3Sum, HammingDistribution, OrthogonalVectors};
+use camelot_bench::criterion::{self, criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_core::CamelotProblem;
 use camelot_csp::{Csp2, CspWeightValue};
 use camelot_ff::{next_prime, PrimeField};
 
-fn bench_eval<P: CamelotProblem>(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>, name: &str, size: usize, problem: &P) {
+fn bench_eval<P: CamelotProblem>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    size: usize,
+    problem: &P,
+) {
     let q = next_prime(problem.spec().min_modulus.max(1 << 20));
     let pf = PrimeField::new(q).unwrap();
     let ev = problem.evaluator(&pf);

@@ -1,7 +1,7 @@
 //! Criterion benches for E3–E5: split/sparse parts, proof evaluation,
 //! and the AYZ counter across densities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use camelot_core::CamelotProblem;
 use camelot_ff::{next_prime, PrimeField};
 use camelot_graph::gen;

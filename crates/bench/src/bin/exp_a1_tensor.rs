@@ -26,10 +26,12 @@ fn main() {
     for n in [7usize, 8] {
         let g = gen::planted_clique(n, (n * (n - 1) / 2 - 15).min(n), 6, n as u64);
         let expect = count_k_cliques(&g, 6);
-        for (name, tensor) in [("strassen", MatMulTensor::strassen()), ("naive-2", MatMulTensor::naive(2))] {
+        for (name, tensor) in
+            [("strassen", MatMulTensor::strassen()), ("naive-2", MatMulTensor::naive(2))]
+        {
             let (circ, t_circ) = time(|| count_cliques_circuit(&g, 6, &tensor));
             let problem = KCliqueCount::with_tensor(g.clone(), 6, tensor.clone());
-            let (outcome, t_cam) = time(|| Engine::sequential(8, 2).run(&problem).unwrap());
+            let (outcome, t_cam) = time(|| Engine::auto(8, 2).run(&problem).unwrap());
             table.row(&[
                 name.to_string(),
                 format!("{:.3}", tensor.omega()),

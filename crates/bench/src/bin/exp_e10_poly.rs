@@ -4,8 +4,8 @@
 //! orthogonal vectors, `c = 2` for the Hamming distribution and
 //! Convolution3SUM. We sweep n at fixed t and fit the linear shape.
 
-use camelot_bench::{fmt_duration, time, Table};
 use camelot_algebraic::{BoolMatrix, Convolution3Sum, HammingDistribution, OrthogonalVectors};
+use camelot_bench::{fmt_duration, time, Table};
 use camelot_core::{CamelotProblem, Engine};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         let b = BoolMatrix::random(n, t_dim, 40, 2);
         let problem = OrthogonalVectors::new(a, b);
         let spec = problem.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&problem).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&problem).unwrap());
         assert_eq!(outcome.output, problem.reference_counts());
         table.row(&[
             "OV (c=1)".into(),
@@ -32,7 +32,7 @@ fn main() {
         let b = BoolMatrix::random(n, t_dim, 50, 4);
         let problem = HammingDistribution::new(a, b);
         let spec = problem.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&problem).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&problem).unwrap());
         assert_eq!(outcome.output, problem.reference_distribution());
         table.row(&[
             "Hamming (c=2)".into(),
@@ -46,7 +46,7 @@ fn main() {
     for n in [8usize, 12, 16] {
         let problem = Convolution3Sum::random(n, 4, 5);
         let spec = problem.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&problem).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&problem).unwrap());
         assert_eq!(outcome.output, problem.reference_counts());
         table.row(&[
             "Conv3SUM (c=2)".into(),

@@ -7,9 +7,9 @@
 //! ratios as n grows, k = 6, Strassen tensor (ω = log2 7).
 
 use camelot_bench::{fmt_duration, time, Table};
+use camelot_cliques::{count_cliques_circuit, count_cliques_nesetril_poljak, KCliqueCount};
 use camelot_core::{CamelotProblem, Engine};
 use camelot_graph::{count_k_cliques, gen};
-use camelot_cliques::{count_cliques_circuit, count_cliques_nesetril_poljak, KCliqueCount};
 use camelot_linalg::MatMulTensor;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
         assert_eq!(circ.to_u64(), Some(brute));
         let problem = KCliqueCount::new(g, 6);
         let nodes = 16usize;
-        let (outcome, t_camelot) = time(|| Engine::sequential(nodes, 4).run(&problem).unwrap());
+        let (outcome, t_camelot) = time(|| Engine::auto(nodes, 4).run(&problem).unwrap());
         assert_eq!(outcome.output.to_u64(), Some(brute));
         table.row(&[
             n.to_string(),

@@ -14,14 +14,8 @@ fn main() {
     let field = PrimeField::new(1_000_000_007).unwrap();
     let tensor = MatMulTensor::strassen();
     let mut rng = SplitMix64::new(1);
-    let mut table = Table::new(&[
-        "N",
-        "NP space (elems)",
-        "circuit space",
-        "ratio",
-        "NP time",
-        "circuit time",
-    ]);
+    let mut table =
+        Table::new(&["N", "NP space (elems)", "circuit space", "ratio", "NP time", "circuit time"]);
     for t_pow in [1usize, 2, 3] {
         let n = 2usize.pow(t_pow as u32);
         let chi = Matrix::from_fn(n, n, |_, _| rng.next_u64() % 3);

@@ -13,14 +13,8 @@ use camelot_triangles::{Family, TriangleSplit};
 fn main() {
     let tensor = MatMulTensor::strassen();
     let n = 32usize;
-    let mut table = Table::new(&[
-        "m",
-        "rank R",
-        "parts",
-        "part len",
-        "one-part time",
-        "all-parts verify",
-    ]);
+    let mut table =
+        Table::new(&["m", "rank R", "parts", "part len", "one-part time", "all-parts verify"]);
     for m in [30usize, 60, 120, 240] {
         let g = gen::gnm(n, m, 4);
         let split = TriangleSplit::new(&g, &tensor);

@@ -10,7 +10,7 @@ use camelot_graph::{gen, tutte::tutte_coefficients, MultiGraph};
 use camelot_partition::{eval_tutte, tutte_polynomial, PottsValue};
 
 fn main() {
-    let engine = Engine::sequential(4, 2);
+    let engine = Engine::auto(4, 2);
     let mut table = Table::new(&[
         "graph",
         "n",
@@ -24,8 +24,11 @@ fn main() {
     for (name, g) in [
         ("K4", MultiGraph::from_graph(&gen::complete(4))),
         ("C6", MultiGraph::from_graph(&gen::cycle(6))),
-        ("K4+loop", MultiGraph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3),(0,0)])),
-        ("2xC3", MultiGraph::from_edges(6, [(0,1),(1,2),(2,0),(3,4),(4,5),(5,3)])),
+        (
+            "K4+loop",
+            MultiGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (0, 0)]),
+        ),
+        ("2xC3", MultiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])),
     ] {
         let (n, m) = (g.vertex_count(), g.edge_count());
         let spec = PottsValue::new(g.clone(), 2, 1).spec();

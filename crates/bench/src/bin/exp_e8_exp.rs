@@ -1,20 +1,21 @@
 //! Experiment E8 — Theorem 8: #CNFSAT, the permanent, and Hamiltonian
 //! cycles at proof size and time `O*(2^{n/2})`.
 
-use camelot_bench::{fmt_duration, time, Table};
 use camelot_algebraic::{CnfFormula, CountCnfSat, HamiltonianCycles, Permanent};
+use camelot_bench::{fmt_duration, time, Table};
 use camelot_core::{CamelotProblem, Engine};
 use camelot_graph::{count_hamiltonian_cycles, gen};
 
 fn main() {
-    let mut table = Table::new(&["problem", "size", "2^{n/2} scale", "proof size d", "time", "verified"]);
+    let mut table =
+        Table::new(&["problem", "size", "2^{n/2} scale", "proof size d", "time", "verified"]);
 
     for v in [8usize, 10, 12] {
         let formula = CnfFormula::random_ksat(v, 3 * v / 2, 3, v as u64);
         let expect = formula.count_solutions_brute();
         let problem = CountCnfSat::new(formula);
         let spec = problem.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&problem).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&problem).unwrap());
         table.row(&[
             "#CNFSAT".into(),
             format!("v={v}"),
@@ -29,7 +30,7 @@ fn main() {
         let p = Permanent::random(n, 3, n as u64);
         let expect = p.reference_permanent();
         let spec = p.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&p).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&p).unwrap());
         table.row(&[
             "permanent".into(),
             format!("n={n}"),
@@ -45,7 +46,7 @@ fn main() {
         let expect = count_hamiltonian_cycles(&g);
         let problem = HamiltonianCycles::new(g);
         let spec = problem.spec();
-        let (outcome, t) = time(|| Engine::sequential(8, 3).run(&problem).unwrap());
+        let (outcome, t) = time(|| Engine::auto(8, 3).run(&problem).unwrap());
         table.row(&[
             "Hamilton cycles".into(),
             format!("n={n}"),

@@ -13,17 +13,11 @@ fn main() {
     let g = gen::gnm(16, 24, 3); // sparse: long proof, wide K range
     let problem = TriangleCount::new(&g);
     let spec = problem.spec();
-    let mut table = Table::new(&[
-        "K nodes",
-        "total evals T",
-        "per-node E",
-        "E*K",
-        "verify evals",
-        "balanced",
-    ]);
+    let mut table =
+        Table::new(&["K nodes", "total evals T", "per-node E", "E*K", "verify evals", "balanced"]);
     let mut t_ref = 0usize;
     for k in [1usize, 2, 4, 8, 16, 32] {
-        let outcome = Engine::sequential(k, 4).run(&problem).unwrap();
+        let outcome = Engine::auto(k, 4).run(&problem).unwrap();
         let total = outcome.report.total_evaluations;
         let per_node = outcome.report.max_node_evaluations;
         if k == 1 {
@@ -40,6 +34,9 @@ fn main() {
     }
     table.print("F3: K-sweep on a fixed triangle instance");
     println!("paper claim: E = T/K (here T = {t_ref} evaluations per full run; E*K stays ~T)");
-    println!("proof degree d = {}, so K <= T^(1/2) ~ {}", spec.degree_bound,
-             (t_ref as f64).sqrt() as usize);
+    println!(
+        "proof degree d = {}, so K <= T^(1/2) ~ {}",
+        spec.degree_bound,
+        (t_ref as f64).sqrt() as usize
+    );
 }

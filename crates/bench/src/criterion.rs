@@ -1,0 +1,171 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! benchmark API this workspace's benches use.
+//!
+//! The container this repository builds in has no crates.io registry, so
+//! the real `criterion` crate cannot be resolved. Rather than lose the
+//! bench harnesses, the benches import this module
+//! (`camelot_bench::criterion`) and keep their criterion-shaped bodies
+//! unchanged; swapping back to the real crate is a one-line import change
+//! per bench.
+//!
+//! Timing model: each `Bencher::iter` call runs one untimed warm-up
+//! iteration, then `sample_size` timed iterations, and reports the mean
+//! per-iteration wall-clock time. Override the default sample count with
+//! the `CAMELOT_BENCH_SAMPLES` environment variable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Default number of timed iterations per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+fn env_sample_size() -> Option<usize> {
+    std::env::var("CAMELOT_BENCH_SAMPLES").ok()?.parse().ok()
+}
+
+fn fmt_mean(total: Duration, iters: usize) -> String {
+    let ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Entry point handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    fn effective_samples(&self, group_override: usize) -> usize {
+        env_sample_size()
+            .or(if group_override > 0 { Some(group_override) } else { None })
+            .unwrap_or(DEFAULT_SAMPLE_SIZE)
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.effective_samples(0);
+        run_one(name, samples, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 0,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named benchmark parameterisation, printed as `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+/// Measurement marker types, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the only mode the shim supports).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WallTime;
+}
+
+/// A group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timed iterations for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group with an input parameter.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let samples = self.criterion.effective_samples(self.sample_size);
+        run_one(&format!("{}/{}", self.name, id.id), samples, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: usize,
+    timed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f` after one warm-up run; the mean is
+    /// reported by the enclosing benchmark runner.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.timed = Some(start.elapsed());
+    }
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { iters: samples, timed: None };
+    let start = Instant::now();
+    f(&mut bencher);
+    // Report the duration of the timed loop only; fall back to the whole
+    // closure if it never called `iter` (excludes per-bench setup cost).
+    let elapsed = bencher.timed.unwrap_or_else(|| start.elapsed());
+    println!("{label:<48} {} /iter  ({samples} samples)", fmt_mean(elapsed, samples));
+}
+
+/// Registers bench functions under a single runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::criterion::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the registered groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};

@@ -2,11 +2,13 @@
 //!
 //! Shared plumbing for the experiment binaries (`exp_e1_cliques` …
 //! `exp_f3_tradeoff`) that regenerate the paper's per-theorem claims, and
-//! for the criterion benches. See `EXPERIMENTS.md` at the repository root
-//! for the experiment index and recorded results.
+//! for the benches. See `README.md` at the repository root for the
+//! experiment index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod criterion;
 
 use std::time::{Duration, Instant};
 
@@ -51,11 +53,8 @@ impl Table {
             }
         }
         let line = |cells: &[String]| {
-            let joined: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:>w$}", w = w))
-                .collect();
+            let joined: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
             println!("  {}", joined.join("  "));
         };
         line(&self.headers);

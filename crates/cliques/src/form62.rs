@@ -112,8 +112,7 @@ impl Form62 {
                         continue;
                     }
                     for d in 0..n {
-                        let x_d =
-                            field.mul(v(1, 4, a, d), field.mul(v(2, 4, b, d), v(3, 4, c, d)));
+                        let x_d = field.mul(v(1, 4, a, d), field.mul(v(2, 4, b, d), v(3, 4, c, d)));
                         if x_d == 0 {
                             continue;
                         }
@@ -214,9 +213,12 @@ impl Form62 {
         let r_total = tensor.r0().pow(t_pow as u32);
         let mut total = 0u64;
         for r in 0..r_total {
-            let alpha = Matrix::from_fn(n, n, |d, e| field.from_i64(tensor.alpha_power(t_pow, d, e, r)));
-            let beta = Matrix::from_fn(n, n, |e, f| field.from_i64(tensor.beta_power(t_pow, e, f, r)));
-            let gamma = Matrix::from_fn(n, n, |d, f| field.from_i64(tensor.gamma_power(t_pow, d, f, r)));
+            let alpha =
+                Matrix::from_fn(n, n, |d, e| field.from_i64(tensor.alpha_power(t_pow, d, e, r)));
+            let beta =
+                Matrix::from_fn(n, n, |e, f| field.from_i64(tensor.beta_power(t_pow, e, f, r)));
+            let gamma =
+                Matrix::from_fn(n, n, |d, f| field.from_i64(tensor.gamma_power(t_pow, d, f, r)));
             total = field.add(total, self.term(field, &alpha, &beta, &gamma));
         }
         // Inputs + the three coefficient matrices + ~6 temporaries inside
@@ -279,9 +281,8 @@ impl Form62 {
         let alpha_flat = yates(field, tensor.alpha0(), t_pow, &lambda);
         let beta_flat = yates(field, tensor.beta0(), t_pow, &lambda);
         let gamma_flat = yates(field, tensor.gamma0(), t_pow, &lambda);
-        let unflatten = |flat: &[u64]| {
-            Matrix::from_fn(n, n, |i, j| flat[interleave(i, j, n0, t_pow)])
-        };
+        let unflatten =
+            |flat: &[u64]| Matrix::from_fn(n, n, |i, j| flat[interleave(i, j, n0, t_pow)]);
         let alpha = unflatten(&alpha_flat);
         let beta = unflatten(&beta_flat);
         let gamma = unflatten(&gamma_flat);
@@ -355,7 +356,9 @@ mod tests {
     #[test]
     fn nesetril_poljak_matches_naive() {
         let field = f();
-        for (n, distinct, seed) in [(2usize, false, 1u64), (3, false, 2), (2, true, 3), (3, true, 4)] {
+        for (n, distinct, seed) in
+            [(2usize, false, 1u64), (3, false, 2), (2, true, 3), (3, true, 4)]
+        {
             let form = random_form(n, distinct, seed);
             let naive = form.eval_naive(&field);
             let (np, stats) = form.eval_nesetril_poljak(&field);
@@ -368,7 +371,9 @@ mod tests {
     fn circuit_matches_naive_strassen() {
         let field = f();
         let tensor = MatMulTensor::strassen();
-        for (t_pow, distinct, seed) in [(1usize, false, 5u64), (1, true, 6), (2, false, 7), (2, true, 8)] {
+        for (t_pow, distinct, seed) in
+            [(1usize, false, 5u64), (1, true, 6), (2, false, 7), (2, true, 8)]
+        {
             let n = 2usize.pow(t_pow as u32);
             let form = random_form(n, distinct, seed);
             let naive = form.eval_naive(&field);

@@ -171,8 +171,7 @@ impl CamelotProblem for KCliqueCount {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let r_total = self.rank() as u64;
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, r_total)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, r_total)).collect();
         let form_value = crt_u(&residues);
         let multiplicity = clique_multiplicity(self.k);
         let d = multiplicity.to_u64().ok_or_else(|| CamelotError::RecoveryFailed {

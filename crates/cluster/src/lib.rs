@@ -125,11 +125,7 @@ impl FaultPlan {
     /// Indices of all non-honest nodes.
     #[must_use]
     pub fn faulty_nodes(&self) -> Vec<usize> {
-        self.kinds
-            .iter()
-            .enumerate()
-            .filter_map(|(i, k)| k.is_faulty().then_some(i))
-            .collect()
+        self.kinds.iter().enumerate().filter_map(|(i, k)| k.is_faulty().then_some(i)).collect()
     }
 }
 
@@ -214,11 +210,7 @@ impl Broadcast {
     /// Points owned by a given node.
     #[must_use]
     pub fn points_of(&self, node: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &o)| (o == node).then_some(i))
-            .collect()
+        self.assignment.iter().enumerate().filter_map(|(i, &o)| (o == node).then_some(i)).collect()
     }
 
     /// The fault plan used for the round.
@@ -308,15 +300,15 @@ where
             truth[lo..lo + vals.len()].copy_from_slice(&vals);
         }
     } else {
-        for node in 0..config.nodes {
+        for (node, stat) in stats.iter_mut().enumerate() {
             let lo = node * points.len() / config.nodes;
             let hi = (node + 1) * points.len() / config.nodes;
             let start = Instant::now();
             for idx in lo..hi {
                 truth[idx] = eval(points[idx]);
             }
-            stats[node].evaluations = hi - lo;
-            stats[node].elapsed = start.elapsed();
+            stat.evaluations = hi - lo;
+            stat.elapsed = start.elapsed();
         }
     }
 
@@ -370,9 +362,7 @@ mod tests {
         let f = field();
         let points: Vec<u64> = (0..20).collect();
         let plan = FaultPlan::all_honest(4);
-        let b = run_round(&ClusterConfig::sequential(4), &f, &points, &plan, |x| {
-            f.mul(x, x)
-        });
+        let b = run_round(&ClusterConfig::sequential(4), &f, &points, &plan, |x| f.mul(x, x));
         for (i, s) in b.symbols.iter().enumerate() {
             assert_eq!(*s, Some(f.mul(i as u64, i as u64)));
         }

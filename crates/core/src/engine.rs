@@ -52,7 +52,30 @@ impl EngineConfig {
             plan: None,
             decode_at_all_nodes: false,
             verification_trials: 2,
-            seed: 0xCA11_0C_A11E,
+            seed: 0x00CA_110C_A11E,
+        }
+    }
+
+    /// A threaded cluster of `nodes` nodes with fault budget `f`. The
+    /// simulation is deterministic either way; this runs node slices on
+    /// OS threads for wall-clock speed.
+    #[must_use]
+    pub fn parallel(nodes: usize, fault_tolerance: usize) -> Self {
+        EngineConfig {
+            cluster: ClusterConfig::parallel(nodes),
+            ..Self::sequential(nodes, fault_tolerance)
+        }
+    }
+
+    /// Threaded cluster in release builds, sequential in debug builds
+    /// (where the per-node timing numbers in test assertions must be
+    /// exactly reproducible). The default for the experiment binaries.
+    #[must_use]
+    pub fn auto(nodes: usize, fault_tolerance: usize) -> Self {
+        if cfg!(debug_assertions) {
+            Self::sequential(nodes, fault_tolerance)
+        } else {
+            Self::parallel(nodes, fault_tolerance)
         }
     }
 
@@ -172,6 +195,20 @@ impl Engine {
         Engine::new(EngineConfig::sequential(nodes, fault_tolerance))
     }
 
+    /// Convenience: threaded engine with `nodes` nodes and fault budget
+    /// `f`.
+    #[must_use]
+    pub fn parallel(nodes: usize, fault_tolerance: usize) -> Self {
+        Engine::new(EngineConfig::parallel(nodes, fault_tolerance))
+    }
+
+    /// Convenience: [`EngineConfig::auto`] engine — threaded in release
+    /// builds, sequential in debug builds.
+    #[must_use]
+    pub fn auto(nodes: usize, fault_tolerance: usize) -> Self {
+        Engine::new(EngineConfig::auto(nodes, fault_tolerance))
+    }
+
     /// Runs the full prepare → correct → check → recover pipeline.
     ///
     /// # Errors
@@ -181,9 +218,62 @@ impl Engine {
     ///   when the fault plan exceeds the decoding radius;
     /// * [`CamelotError::VerificationFailed`] if a spot check rejects;
     /// * recovery errors from the problem itself.
-    pub fn run<P: CamelotProblem>(&self, problem: &P) -> Result<CamelotOutcome<P::Output>, CamelotError> {
+    pub fn run<P: CamelotProblem>(
+        &self,
+        problem: &P,
+    ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
         let spec = problem.spec();
         let e = code_length(&spec, self.config.fault_tolerance);
+        let primes = choose_primes(&spec, e);
+        self.run_prepared(problem, &spec, &primes, e)
+    }
+
+    /// Runs a batch of problems through the pipeline, amortizing the
+    /// shared setup — prime selection and code-length derivation happen
+    /// once for the whole batch, against the *joint* proof spec (maximum
+    /// degree bound, value bits, and modulus floor across the batch).
+    ///
+    /// Every problem is evaluated, decoded (against its own degree
+    /// bound), spot-checked, and recovered exactly as in [`Engine::run`];
+    /// the recovered outputs are identical to per-problem runs. The
+    /// certificates may use larger moduli / code length than a solo run
+    /// would, since the parameters cover the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// The same failure modes as [`Engine::run`]; the first failing
+    /// problem aborts the batch.
+    pub fn run_batch<P: CamelotProblem>(
+        &self,
+        problems: &[P],
+    ) -> Result<Vec<CamelotOutcome<P::Output>>, CamelotError> {
+        if problems.is_empty() {
+            return Ok(Vec::new());
+        }
+        let specs: Vec<ProofSpec> = problems.iter().map(CamelotProblem::spec).collect();
+        let joint = ProofSpec::new(
+            specs.iter().map(|s| s.degree_bound).max().expect("nonempty batch"),
+            specs.iter().map(|s| s.min_modulus).max().expect("nonempty batch"),
+            specs.iter().map(|s| s.value_bits).max().expect("nonempty batch"),
+        );
+        let e = code_length(&joint, self.config.fault_tolerance);
+        let primes = choose_primes(&joint, e);
+        problems
+            .iter()
+            .zip(&specs)
+            .map(|(problem, spec)| self.run_prepared(problem, spec, &primes, e))
+            .collect()
+    }
+
+    /// The prepare → correct → check → recover pipeline for one problem,
+    /// with the prime moduli and code length already derived.
+    fn run_prepared<P: CamelotProblem>(
+        &self,
+        problem: &P,
+        spec: &ProofSpec,
+        primes: &[u64],
+        e: usize,
+    ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
         let plan = self
             .config
             .plan
@@ -198,7 +288,6 @@ impl Engine {
                 ),
             });
         }
-        let primes = choose_primes(&spec, e);
         if primes.iter().any(|&q| (e as u64) > q) {
             return Err(CamelotError::BadConfiguration {
                 reason: format!("code length {e} exceeds a modulus"),
@@ -214,7 +303,7 @@ impl Engine {
 
         let mut report = RunReport {
             nodes: self.config.cluster.nodes,
-            primes: primes.clone(),
+            primes: primes.to_vec(),
             code_length: e,
             ..RunReport::default()
         };
@@ -223,20 +312,15 @@ impl Engine {
         let mut crashed: BTreeSet<usize> = BTreeSet::new();
         let points: Vec<u64> = (0..e as u64).collect();
 
-        for &q in &primes {
+        for &q in primes {
             let field = PrimeField::new_unchecked(q);
             let evaluator = problem.evaluator(&field);
-            let broadcast = run_round(&self.config.cluster, &field, &points, &plan, |x| {
-                evaluator.eval(x)
-            });
+            let broadcast =
+                run_round(&self.config.cluster, &field, &points, &plan, |x| evaluator.eval(x));
             report.total_evaluations += broadcast.total_evaluations();
             report.max_node_evaluations += broadcast.max_node_evaluations();
-            report.critical_path += broadcast
-                .stats
-                .iter()
-                .map(|s| s.elapsed)
-                .max()
-                .unwrap_or_default();
+            report.critical_path +=
+                broadcast.stats.iter().map(|s| s.elapsed).max().unwrap_or_default();
 
             // Every deciding node runs the Gao decoder on its own view.
             let code = RsCode::consecutive(&field, e);
@@ -320,10 +404,8 @@ mod tests {
         }
 
         fn recover(&self, proofs: &[PrimeProof]) -> Result<u128, CamelotError> {
-            let residues: Vec<Residue> = proofs
-                .iter()
-                .map(|p| Residue { modulus: p.modulus, value: p.eval(0) })
-                .collect();
+            let residues: Vec<Residue> =
+                proofs.iter().map(|p| Residue { modulus: p.modulus, value: p.eval(0) }).collect();
             crt_u(&residues).to_u128().ok_or_else(|| CamelotError::RecoveryFailed {
                 reason: "value exceeded u128".into(),
             })

@@ -28,13 +28,15 @@ pub fn merlin_prove<P: CamelotProblem>(problem: &P) -> Result<Vec<PrimeProof>, C
     for &q in &primes {
         if spec.degree_bound as u64 + 1 > q {
             return Err(CamelotError::BadConfiguration {
-                reason: format!("degree bound {} needs more points than Z_{q} has", spec.degree_bound),
+                reason: format!(
+                    "degree bound {} needs more points than Z_{q} has",
+                    spec.degree_bound
+                ),
             });
         }
         let field = PrimeField::new_unchecked(q);
         let evaluator = problem.evaluator(&field);
-        let values: Vec<u64> =
-            (0..=spec.degree_bound as u64).map(|x| evaluator.eval(x)).collect();
+        let values: Vec<u64> = (0..=spec.degree_bound as u64).map(|x| evaluator.eval(x)).collect();
         let poly = interpolate_consecutive(&field, &values);
         proofs.push(PrimeProof { modulus: q, coefficients: poly.into_coeffs() });
     }
@@ -103,13 +105,11 @@ mod tests {
         }
 
         fn recover(&self, proofs: &[PrimeProof]) -> Result<u128, CamelotError> {
-            let residues: Vec<Residue> = proofs
-                .iter()
-                .map(|p| Residue { modulus: p.modulus, value: p.eval(0) })
-                .collect();
-            crt_u(&residues).to_u128().ok_or_else(|| CamelotError::RecoveryFailed {
-                reason: "overflow".into(),
-            })
+            let residues: Vec<Residue> =
+                proofs.iter().map(|p| Residue { modulus: p.modulus, value: p.eval(0) }).collect();
+            crt_u(&residues)
+                .to_u128()
+                .ok_or_else(|| CamelotError::RecoveryFailed { reason: "overflow".into() })
         }
     }
 

@@ -97,9 +97,8 @@ impl Certificate {
                         .ok_or_else(|| malformed("proof line missing modulus"))?;
                     let mut coefficients = Vec::new();
                     for tok in parts {
-                        let c = tok
-                            .parse::<u64>()
-                            .map_err(|_| malformed("non-numeric coefficient"))?;
+                        let c =
+                            tok.parse::<u64>().map_err(|_| malformed("non-numeric coefficient"))?;
                         if c >= modulus {
                             return Err(malformed("coefficient out of field range"));
                         }
@@ -143,9 +142,8 @@ impl Certificate {
 }
 
 fn parse_usize(tok: Option<&str>, what: &str) -> Result<usize, CamelotError> {
-    tok.and_then(|s| s.parse::<usize>().ok()).ok_or_else(|| CamelotError::MalformedProof {
-        reason: format!("bad {what} field"),
-    })
+    tok.and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| CamelotError::MalformedProof { reason: format!("bad {what} field") })
 }
 
 fn parse_usize_list<'a>(parts: impl Iterator<Item = &'a str>) -> Result<Vec<usize>, CamelotError> {
@@ -215,27 +213,18 @@ mod tests {
     #[test]
     fn out_of_range_coefficient_rejected() {
         let wire = sample().to_wire().replace("proof 101 1 2 3", "proof 101 1 2 200");
-        assert!(matches!(
-            Certificate::from_wire(&wire),
-            Err(CamelotError::MalformedProof { .. })
-        ));
+        assert!(matches!(Certificate::from_wire(&wire), Err(CamelotError::MalformedProof { .. })));
     }
 
     #[test]
     fn degree_violation_rejected() {
         let wire = sample().to_wire().replace("proof 101 1 2 3", "proof 101 1 2 3 4 5");
-        assert!(matches!(
-            Certificate::from_wire(&wire),
-            Err(CamelotError::MalformedProof { .. })
-        ));
+        assert!(matches!(Certificate::from_wire(&wire), Err(CamelotError::MalformedProof { .. })));
     }
 
     #[test]
     fn garbage_section_rejected() {
         let wire = sample().to_wire().replace("crashed", "cursed");
-        assert!(matches!(
-            Certificate::from_wire(&wire),
-            Err(CamelotError::MalformedProof { .. })
-        ));
+        assert!(matches!(Certificate::from_wire(&wire), Err(CamelotError::MalformedProof { .. })));
     }
 }

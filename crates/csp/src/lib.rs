@@ -187,7 +187,14 @@ impl Csp2 {
 
     /// `f^{(s,t)}(a_s, a_t)`: total weight of satisfied constraints of
     /// type `(s,t)` (unit weights give the plain count).
-    fn satisfied_of_type(&self, weights: &[u64], s: usize, t: usize, a_s: usize, a_t: usize) -> u64 {
+    fn satisfied_of_type(
+        &self,
+        weights: &[u64],
+        s: usize,
+        t: usize,
+        a_s: usize,
+        a_t: usize,
+    ) -> u64 {
         self.constraints
             .iter()
             .zip(weights)
@@ -293,8 +300,7 @@ impl CamelotProblem for CspWeightValue {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let r_total = self.rank() as u64;
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, r_total)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, r_total)).collect();
         Ok(crt_u(&residues))
     }
 }
@@ -374,8 +380,9 @@ mod tests {
         // 12 variables: blocks of 2; a constraint inside block 0 and one
         // inside block 3 exercise both same-block branches. Use brute
         // force histogram as the oracle.
-        let eq =
-            |sigma: usize| (0..sigma * sigma).map(|i| i / sigma == i % sigma).collect::<Vec<bool>>();
+        let eq = |sigma: usize| {
+            (0..sigma * sigma).map(|i| i / sigma == i % sigma).collect::<Vec<bool>>()
+        };
         let csp = Csp2::new(
             12,
             2,

@@ -29,11 +29,7 @@ impl WeightedCsp2 {
     /// Panics if the weight count does not match the constraint count.
     #[must_use]
     pub fn new(csp: Csp2, weights: Vec<u64>) -> Self {
-        assert_eq!(
-            weights.len(),
-            csp.constraint_count(),
-            "one weight per constraint required"
-        );
+        assert_eq!(weights.len(), csp.constraint_count(), "one weight per constraint required");
         WeightedCsp2 { csp, weights }
     }
 

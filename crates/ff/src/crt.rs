@@ -85,10 +85,8 @@ mod tests {
     fn reconstructs_small_values() {
         let primes = [97u64, 101, 103];
         for x in [0u64, 1, 96, 12345, 97 * 101 * 103 - 1] {
-            let residues: Vec<Residue> = primes
-                .iter()
-                .map(|&q| Residue { modulus: q, value: x % q })
-                .collect();
+            let residues: Vec<Residue> =
+                primes.iter().map(|&q| Residue { modulus: q, value: x % q }).collect();
             assert_eq!(crt_u(&residues).to_u64(), Some(x));
         }
     }
@@ -129,10 +127,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "pairwise coprime")]
     fn duplicate_moduli_rejected() {
-        let r = [
-            Residue { modulus: 11, value: 7 },
-            Residue { modulus: 11, value: 7 },
-        ];
+        let r = [Residue { modulus: 11, value: 7 }, Residue { modulus: 11, value: 7 }];
         let _ = crt_u(&r);
     }
 

@@ -286,10 +286,7 @@ mod tests {
     fn new_rejects_composites_and_large() {
         assert_eq!(PrimeField::new(1), Err(FieldError::NotPrime(1)));
         assert_eq!(PrimeField::new(91), Err(FieldError::NotPrime(91)));
-        assert!(matches!(
-            PrimeField::new(MAX_MODULUS + 1),
-            Err(FieldError::TooLarge(_))
-        ));
+        assert!(matches!(PrimeField::new(MAX_MODULUS + 1), Err(FieldError::TooLarge(_))));
         assert!(PrimeField::new(2).is_ok());
         assert!(PrimeField::new((1 << 61) - 1).is_ok()); // Mersenne prime
     }

@@ -102,9 +102,9 @@ impl UBig {
         };
         let mut out = Vec::with_capacity(a.len() + 1);
         let mut carry = 0u64;
-        for i in 0..a.len() {
+        for (i, &ai) in a.iter().enumerate() {
             let bi = b.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s1, c1) = ai.overflowing_add(bi);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = u64::from(c1) + u64::from(c2);

@@ -68,7 +68,13 @@ fn independent_size_table(g: &Graph, field: &PrimeField) -> Vec<u64> {
 }
 
 /// `[z^top] p(z)^t` for a dense polynomial `p` truncated at degree `top`.
-fn pow_coeff_top(field: &PrimeField, p: &[u64], mut t: u64, top: usize, scratch: &mut [u64]) -> u64 {
+fn pow_coeff_top(
+    field: &PrimeField,
+    p: &[u64],
+    mut t: u64,
+    top: usize,
+    scratch: &mut [u64],
+) -> u64 {
     let width = top + 1;
     // acc = 1, base = p; truncated square-and-multiply.
     let mut acc = vec![0u64; width];
@@ -120,10 +126,7 @@ pub fn chromatic_value_brute(g: &Graph, t: u64) -> u64 {
     let mut count = 0u64;
     let mut coloring = vec![0u64; n as usize];
     'outer: loop {
-        let proper = g
-            .edges()
-            .iter()
-            .all(|&(u, v)| coloring[u] != coloring[v]);
+        let proper = g.edges().iter().all(|&(u, v)| coloring[u] != coloring[v]);
         if proper {
             count += 1;
         }
@@ -144,9 +147,7 @@ pub fn chromatic_value_brute(g: &Graph, t: u64) -> u64 {
 /// degree-`n` chromatic polynomial by interpolation.
 #[must_use]
 pub fn chromatic_values_mod(g: &Graph, field: &PrimeField) -> Vec<u64> {
-    (1..=g.vertex_count() as u64 + 1)
-        .map(|t| chromatic_value_mod(g, t, field))
-        .collect()
+    (1..=g.vertex_count() as u64 + 1).map(|t| chromatic_value_mod(g, t, field)).collect()
 }
 
 #[cfg(test)]

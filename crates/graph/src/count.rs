@@ -101,20 +101,21 @@ pub fn count_hamiltonian_cycles(g: &Graph) -> u64 {
     let full = (1usize << (n - 1)) - 1; // subsets of {1..n-1}
     for s in 0..=full {
         let mask = (s << 1) | 1; // include vertex 0
+
         // walks[v] = number of walks 0 -> v of current length inside mask
         let mut walks = vec![0i128; n];
         walks[0] = 1;
         for _ in 0..n - 1 {
             let mut next = vec![0i128; n];
-            for v in 0..n {
-                if walks[v] == 0 {
+            for (v, &count) in walks.iter().enumerate() {
+                if count == 0 {
                     continue;
                 }
                 let mut nb = g.neighbors(v) & mask as u64;
                 while nb != 0 {
                     let w = nb.trailing_zeros() as usize;
                     nb &= nb - 1;
-                    next[w] += walks[v];
+                    next[w] += count;
                 }
             }
             walks = next;
@@ -127,7 +128,8 @@ pub fn count_hamiltonian_cycles(g: &Graph) -> u64 {
             nb &= nb - 1;
             closed += walks[w];
         }
-        let sign = if (n - 1 - (s as u32).count_ones() as usize).is_multiple_of(2) { 1 } else { -1 };
+        let sign =
+            if (n - 1 - (s as u32).count_ones() as usize).is_multiple_of(2) { 1 } else { -1 };
         total += sign * closed;
     }
     debug_assert!(total >= 0 && total % 2 == 0, "directed count must be even, got {total}");
@@ -224,6 +226,7 @@ mod tests {
         assert_eq!(table[0b111], 5);
         assert_eq!(table[0b011], 3); // {}, {0}, {1}
         assert_eq!(table[0b101], 4); // {}, {0}, {2}, {0,2}
+
         // Triangle: 4 independent subsets of the full set.
         let t = independent_set_table(&gen::complete(3));
         assert_eq!(t[0b111], 4);

@@ -67,7 +67,10 @@ pub fn eval_tutte_mod(coeffs: &[Vec<u128>], x: u64, y: u64, field: &PrimeField) 
         for (j, &c) in row.iter().enumerate() {
             let term = field.mul(
                 field.reduce_u128(c),
-                field.mul(field.pow(field.reduce(x), i as u64), field.pow(field.reduce(y), j as u64)),
+                field.mul(
+                    field.pow(field.reduce(x), i as u64),
+                    field.pow(field.reduce(y), j as u64),
+                ),
             );
             acc = field.add(acc, term);
         }
@@ -88,13 +91,7 @@ impl BiPoly {
 
     fn add(mut self, other: BiPoly) -> BiPoly {
         let rows = self.table.len().max(other.table.len());
-        let cols = self
-            .table
-            .iter()
-            .chain(&other.table)
-            .map(Vec::len)
-            .max()
-            .unwrap_or(0);
+        let cols = self.table.iter().chain(&other.table).map(Vec::len).max().unwrap_or(0);
         self.table.resize(rows, Vec::new());
         for row in &mut self.table {
             row.resize(cols, 0);
@@ -232,10 +229,7 @@ mod tests {
             let mg = MultiGraph::from_graph(&g);
             let t = tutte_coefficients(&mg);
             // T(2,2) = 2^m for connected G.
-            assert_eq!(
-                eval_tutte_mod(&t, 2, 2, &field),
-                field.pow(2, mg.edge_count() as u64)
-            );
+            assert_eq!(eval_tutte_mod(&t, 2, 2, &field), field.pow(2, mg.edge_count() as u64));
             // T(1,1) = number of spanning trees (via Potts cross-check below).
             // T(2,1) = number of spanning forests.
             let forests = eval_tutte_mod(&t, 2, 1, &field);
@@ -269,10 +263,7 @@ mod tests {
                 let r = y - 1;
                 let lhs = potts_value_mod(&mg, t, r, &field);
                 let rhs = field.mul(
-                    field.mul(
-                        field.pow(x - 1, c_e),
-                        field.pow(y - 1, mg.vertex_count() as u64),
-                    ),
+                    field.mul(field.pow(x - 1, c_e), field.pow(y - 1, mg.vertex_count() as u64)),
                     eval_tutte_mod(&coeffs, x, y, &field),
                 );
                 assert_eq!(lhs, rhs, "graph {g}, (x,y)=({x},{y})");

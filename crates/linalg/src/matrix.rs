@@ -294,7 +294,8 @@ impl Matrix {
             out.data[i * n..i * n + h].copy_from_slice(&c11.data[i * h..(i + 1) * h]);
             out.data[i * n + h..(i + 1) * n].copy_from_slice(&c12.data[i * h..(i + 1) * h]);
             out.data[(h + i) * n..(h + i) * n + h].copy_from_slice(&c21.data[i * h..(i + 1) * h]);
-            out.data[(h + i) * n + h..(h + i + 1) * n].copy_from_slice(&c22.data[i * h..(i + 1) * h]);
+            out.data[(h + i) * n + h..(h + i + 1) * n]
+                .copy_from_slice(&c22.data[i * h..(i + 1) * h]);
         }
         out
     }
@@ -375,10 +376,7 @@ mod tests {
         let a = random_matrix(&field, 4, 7, &mut rng);
         let b = random_matrix(&field, 7, 3, &mut rng);
         assert_eq!(a.transpose().transpose(), a);
-        assert_eq!(
-            a.mul(&field, &b).transpose(),
-            b.transpose().mul(&field, &a.transpose())
-        );
+        assert_eq!(a.mul(&field, &b).transpose(), b.transpose().mul(&field, &a.transpose()));
     }
 
     #[test]

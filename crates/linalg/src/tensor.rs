@@ -202,7 +202,14 @@ impl MatMulTensor {
         self.coeff_power(&self.gamma0, t, d, f, r)
     }
 
-    fn coeff_power(&self, m: &SmallMatrix, t: usize, mut a: usize, mut b: usize, mut r: usize) -> i64 {
+    fn coeff_power(
+        &self,
+        m: &SmallMatrix,
+        t: usize,
+        mut a: usize,
+        mut b: usize,
+        mut r: usize,
+    ) -> i64 {
         let mut prod = 1i64;
         for _ in 0..t {
             let (ad, bd, rd) = (a % self.n0, b % self.n0, r % self.r0);
@@ -316,9 +323,9 @@ mod tests {
                 br = field.add(br, field.mul(field.from_i64(tensor.beta0().get(p, r)), b[p]));
             }
             let m = field.mul(ar, br);
-            for p in 0..4 {
+            for (p, cp) in c.iter_mut().enumerate() {
                 let g = field.from_i64(tensor.gamma0().get(p, r));
-                c[p] = field.add(c[p], field.mul(g, m));
+                *cp = field.add(*cp, field.mul(g, m));
             }
         }
         // Expected: [[3,5],[7,11]] * [[13,17],[19,23]] = [[134,166],[300,372]]

@@ -364,7 +364,7 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         let x: Vec<u64> = (0..1 << k).map(|_| rng.next_u64() % 1000).collect();
         let y = yates(&field, &zeta_matrix(), k, &x);
-        for mask in 0..1usize << k {
+        for (mask, &yv) in y.iter().enumerate() {
             let mut expect = 0u64;
             let mut sub = mask;
             loop {
@@ -374,7 +374,7 @@ mod tests {
                 }
                 sub = (sub - 1) & mask;
             }
-            assert_eq!(y[mask], expect, "mask {mask:b}");
+            assert_eq!(yv, expect, "mask {mask:b}");
         }
     }
 
@@ -382,17 +382,23 @@ mod tests {
     fn split_sparse_matches_dense_all_parts() {
         let field = f();
         let mut rng = SplitMix64::new(4);
-        for (t, s, k, ell) in [(2usize, 2usize, 5usize, 2usize), (3, 2, 4, 1), (7, 4, 3, 2), (2, 2, 4, 0), (2, 2, 4, 4)] {
+        for (t, s, k, ell) in [
+            (2usize, 2usize, 5usize, 2usize),
+            (3, 2, 4, 1),
+            (7, 4, 3, 2),
+            (2, 2, 4, 0),
+            (2, 2, 4, 4),
+        ] {
             let a = random_small(t, s, &mut rng);
             let n_in = s.pow(k as u32);
             // sparse input with ~25% support
             let mut sparse = Vec::new();
             let mut dense = vec![0u64; n_in];
-            for j in 0..n_in {
+            for (j, dj) in dense.iter_mut().enumerate() {
                 if rng.next_u64().is_multiple_of(4) {
                     let v = rng.next_u64() % field.modulus();
                     sparse.push((j, v));
-                    dense[j] = v;
+                    *dj = v;
                 }
             }
             let expected = yates(&field, &a, k, &dense);
@@ -425,7 +431,11 @@ mod tests {
         let n_in = 2usize.pow(k as u32);
         let sparse: SparseVec = (0..n_in)
             .filter_map(|j| {
-                rng.next_u64().is_multiple_of(3).then(|| (j, rng.next_u64() % field.modulus()))
+                if rng.next_u64().is_multiple_of(3) {
+                    Some((j, rng.next_u64() % field.modulus()))
+                } else {
+                    None
+                }
             })
             .collect();
         let splitter = SplitSparseYates::new(a, k, ell);
@@ -447,11 +457,16 @@ mod tests {
         let (k, ell) = (5usize, 2usize);
         let sparse: SparseVec = (0..32)
             .filter_map(|j| {
-                rng.next_u64().is_multiple_of(2).then(|| (j, rng.next_u64() % field.modulus()))
+                if rng.next_u64().is_multiple_of(2) {
+                    Some((j, rng.next_u64() % field.modulus()))
+                } else {
+                    None
+                }
             })
             .collect();
         let splitter = SplitSparseYates::new(a, k, ell);
         let outer_count = splitter.part_count() as u64; // 8
+
         // Sample at z = 101..101+outer_count-1 and interpolate component 3.
         let comp = 3usize;
         let pts: Vec<(u64, u64)> = (0..outer_count)

@@ -68,8 +68,7 @@ impl CamelotProblem for ChromaticValue {
         let e_size = split.e_size;
         let b_size = split.b_size;
         // B-side masks of each E-vertex's neighborhood, re-based.
-        let e_nbr_in_b: Vec<u64> =
-            (0..e_size).map(|v| g.neighbors(v) >> e_size).collect();
+        let e_nbr_in_b: Vec<u64> = (0..e_size).map(|v| g.neighbors(v) >> e_size).collect();
         Box::new(move |x0: u64| {
             let x0 = f.reduce(x0);
             // f_B, then ζ over B: g_B[Y] = Σ_{X ⊆ Y independent} w_B^{|X|} x0^X.
@@ -116,8 +115,7 @@ impl CamelotProblem for ChromaticValue {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let target = self.split.target_coefficient();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.coefficient_residue(target)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.coefficient_residue(target)).collect();
         Ok(crt_u(&residues))
     }
 }
@@ -139,7 +137,10 @@ pub struct ChromaticOutcome {
 /// # Errors
 ///
 /// Propagates any engine failure from the per-`t` runs.
-pub fn chromatic_polynomial(graph: &Graph, engine: &Engine) -> Result<ChromaticOutcome, CamelotError> {
+pub fn chromatic_polynomial(
+    graph: &Graph,
+    engine: &Engine,
+) -> Result<ChromaticOutcome, CamelotError> {
     let n = graph.vertex_count();
     let mut values = Vec::with_capacity(n + 1);
     let mut certificates = Vec::with_capacity(n + 1);

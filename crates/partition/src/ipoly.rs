@@ -83,10 +83,8 @@ pub fn interpolate_integer_2d(grid: &[Vec<IBig>], x_start: i64, y_start: i64) ->
     // For each y-coefficient, interpolate down the x direction.
     let mut out: Vec<Vec<IBig>> = Vec::new();
     for b in 0..y_deg {
-        let column: Vec<IBig> = row_polys
-            .iter()
-            .map(|r| r.get(b).cloned().unwrap_or_else(IBig::zero))
-            .collect();
+        let column: Vec<IBig> =
+            row_polys.iter().map(|r| r.get(b).cloned().unwrap_or_else(IBig::zero)).collect();
         let xs = interpolate_integer(&column, x_start);
         for (a, c) in xs.into_iter().enumerate() {
             while out.len() <= a {

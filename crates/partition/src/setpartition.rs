@@ -69,8 +69,7 @@ impl CamelotProblem for SetPartitions {
     type Output = UBig;
 
     fn spec(&self) -> ProofSpec {
-        let bits =
-            (self.tuple_len as f64) * ((self.family.len().max(2)) as f64).log2() + 4.0;
+        let bits = (self.tuple_len as f64) * ((self.family.len().max(2)) as f64).log2() + 4.0;
         ProofSpec {
             degree_bound: self.split.degree_bound(),
             min_modulus: self.split.degree_bound() as u64 + 2,
@@ -105,8 +104,7 @@ impl CamelotProblem for SetPartitions {
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         // The answer is the proof coefficient p_{2^{|B|}-1}, divided by t!.
         let target = self.split.target_coefficient();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.coefficient_residue(target)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.coefficient_residue(target)).collect();
         let ordered = crt_u(&residues);
         let mut value = ordered;
         for i in 1..=self.tuple_len {
@@ -193,9 +191,6 @@ mod tests {
         let problem = SetPartitions::new(5, family, 2);
         let proofs = merlin_prove(&problem).unwrap();
         arthur_verify(&problem, &proofs, 4, 21).unwrap();
-        assert_eq!(
-            problem.recover(&proofs).unwrap().to_u128(),
-            Some(problem.reference_count())
-        );
+        assert_eq!(problem.recover(&proofs).unwrap().to_u128(), Some(problem.reference_count()));
     }
 }

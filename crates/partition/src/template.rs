@@ -158,7 +158,7 @@ mod tests {
             (0..8).map(|i| BiPoly::monomial(2, 2, 0, 0, i as u64 + 1)).collect();
         let original: Vec<u64> = table.iter().map(|p| p.coeff(0, 0)).collect();
         zeta_in_place(&field, &mut table, e);
-        for y in 0..8usize {
+        for (y, entry) in table.iter().enumerate() {
             let mut expect = 0u64;
             let mut sub = y;
             loop {
@@ -168,7 +168,7 @@ mod tests {
                 }
                 sub = (sub - 1) & y;
             }
-            assert_eq!(table[y].coeff(0, 0), expect, "Y = {y:b}");
+            assert_eq!(entry.coeff(0, 0), expect, "Y = {y:b}");
         }
     }
 

@@ -109,8 +109,8 @@ impl CamelotProblem for PottsValue {
             .map(|x| {
                 (0..1u64 << e2)
                     .map(|y2| {
-                        let exp = self.edges_between(x_of(x), y2_of(y2))
-                            + self.edges_within(y2_of(y2));
+                        let exp =
+                            self.edges_between(x_of(x), y2_of(y2)) + self.edges_within(y2_of(y2));
                         f.pow(one_plus_r, exp)
                     })
                     .collect()
@@ -120,8 +120,8 @@ impl CamelotProblem for PottsValue {
             .map(|y1| {
                 (0..1u64 << b)
                     .map(|x| {
-                        let exp = self.edges_between(x_of(x), y1_of(y1))
-                            + self.edges_within(x_of(x));
+                        let exp =
+                            self.edges_between(x_of(x), y1_of(y1)) + self.edges_within(x_of(x));
                         f.pow(one_plus_r, exp)
                     })
                     .collect()
@@ -131,8 +131,8 @@ impl CamelotProblem for PottsValue {
             .map(|y1| {
                 (0..1u64 << e2)
                     .map(|y2| {
-                        let exp = self.edges_between(y1_of(y1), y2_of(y2))
-                            + self.edges_within(y1_of(y1));
+                        let exp =
+                            self.edges_between(y1_of(y1), y2_of(y2)) + self.edges_within(y1_of(y1));
                         f.pow(one_plus_r, exp)
                     })
                     .collect()
@@ -181,8 +181,7 @@ impl CamelotProblem for PottsValue {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<UBig, CamelotError> {
         let target = self.split.target_coefficient();
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.coefficient_residue(target)).collect();
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.coefficient_residue(target)).collect();
         Ok(crt_u(&residues))
     }
 }
@@ -264,8 +263,7 @@ pub fn tutte_polynomial(graph: &MultiGraph, engine: &Engine) -> Result<TutteOutc
     // Substitute u = x - 1, v = y - 1 by binomial expansion.
     let x_deg = shifted.len();
     let y_deg = shifted.iter().map(Vec::len).max().unwrap_or(0);
-    let mut coefficients: Vec<Vec<IBig>> =
-        vec![vec![IBig::zero(); y_deg.max(1)]; x_deg.max(1)];
+    let mut coefficients: Vec<Vec<IBig>> = vec![vec![IBig::zero(); y_deg.max(1)]; x_deg.max(1)];
     for (a, row) in shifted.iter().enumerate() {
         for (b, coeff) in row.iter().enumerate() {
             if coeff.is_zero() {
@@ -280,8 +278,7 @@ pub fn tutte_polynomial(graph: &MultiGraph, engine: &Engine) -> Result<TutteOutc
         }
     }
     // Trim empty high rows/cols.
-    while coefficients.len() > 1
-        && coefficients.last().is_some_and(|r| r.iter().all(IBig::is_zero))
+    while coefficients.len() > 1 && coefficients.last().is_some_and(|r| r.iter().all(IBig::is_zero))
     {
         coefficients.pop();
     }
@@ -381,11 +378,7 @@ mod tests {
     fn compare(got: &[Vec<IBig>], reference: &[Vec<u128>]) {
         for i in 0..got.len().max(reference.len()) {
             for j in 0..8 {
-                let g = got
-                    .get(i)
-                    .and_then(|r| r.get(j))
-                    .cloned()
-                    .unwrap_or_else(IBig::zero);
+                let g = got.get(i).and_then(|r| r.get(j)).cloned().unwrap_or_else(IBig::zero);
                 let r = reference.get(i).and_then(|r| r.get(j)).copied().unwrap_or(0);
                 assert_eq!(
                     g.to_i128(),

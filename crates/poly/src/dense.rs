@@ -55,9 +55,7 @@ impl Poly {
     /// into the field and trimming trailing zeros.
     #[must_use]
     pub fn from_coeffs(field: &PrimeField, coeffs: impl IntoIterator<Item = u64>) -> Self {
-        let mut p = Poly {
-            coeffs: coeffs.into_iter().map(|c| field.reduce(c)).collect(),
-        };
+        let mut p = Poly { coeffs: coeffs.into_iter().map(|c| field.reduce(c)).collect() };
         p.normalize();
         p
     }
@@ -245,11 +243,13 @@ impl Poly {
     ///
     /// Panics if both inputs are zero.
     #[must_use]
-    pub fn partial_xgcd(&self, field: &PrimeField, other: &Poly, stop_degree: usize) -> (Poly, Poly, Poly) {
-        assert!(
-            !(self.is_zero() && other.is_zero()),
-            "partial_xgcd of two zero polynomials"
-        );
+    pub fn partial_xgcd(
+        &self,
+        field: &PrimeField,
+        other: &Poly,
+        stop_degree: usize,
+    ) -> (Poly, Poly, Poly) {
+        assert!(!(self.is_zero() && other.is_zero()), "partial_xgcd of two zero polynomials");
         let (mut r0, mut r1) = (self.clone(), other.clone());
         let (mut u0, mut u1) = (Poly::constant(1), Poly::zero());
         let (mut v0, mut v1) = (Poly::zero(), Poly::constant(1));
@@ -299,11 +299,7 @@ fn mul_karatsuba(field: &PrimeField, a: &[u64], b: &[u64]) -> Vec<u64> {
     let (a0, a1) = a.split_at(a.len().min(half));
     let (b0, b1) = b.split_at(b.len().min(half));
     let z0 = mul_rec(field, a0, b0);
-    let z2 = if a1.is_empty() || b1.is_empty() {
-        Vec::new()
-    } else {
-        mul_rec(field, a1, b1)
-    };
+    let z2 = if a1.is_empty() || b1.is_empty() { Vec::new() } else { mul_rec(field, a1, b1) };
     let asum = slice_add(field, a0, a1);
     let bsum = slice_add(field, b0, b1);
     let mut z1 = mul_rec(field, &asum, &bsum);
@@ -317,9 +313,11 @@ fn mul_karatsuba(field: &PrimeField, a: &[u64], b: &[u64]) -> Vec<u64> {
     // z1/z2 may carry trailing zero coefficients past the true product
     // degree for unbalanced operands; size the buffer for the largest
     // placement and let the caller trim.
-    let len = (a.len() + b.len() - 1)
-        .max(half + z1.len())
-        .max(if z2.is_empty() { 0 } else { 2 * half + z2.len() });
+    let len = (a.len() + b.len() - 1).max(half + z1.len()).max(if z2.is_empty() {
+        0
+    } else {
+        2 * half + z2.len()
+    });
     let mut out = vec![0u64; len];
     for (i, &c) in z0.iter().enumerate() {
         out[i] = field.add(out[i], c);
@@ -459,10 +457,8 @@ mod tests {
         let a = random_poly(&field, 6, &mut rng);
         let b = random_poly(&field, 5, &mut rng);
         let lhs = a.mul(&field, &b).derivative(&field);
-        let rhs = a
-            .derivative(&field)
-            .mul(&field, &b)
-            .add(&field, &a.mul(&field, &b.derivative(&field)));
+        let rhs =
+            a.derivative(&field).mul(&field, &b).add(&field, &a.mul(&field, &b.derivative(&field)));
         assert_eq!(lhs, rhs);
     }
 

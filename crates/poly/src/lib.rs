@@ -27,5 +27,5 @@ mod interp;
 mod ntt;
 
 pub use dense::Poly;
-pub use ntt::NttPlan;
 pub use interp::{eval_many, interpolate, interpolate_consecutive, lagrange_basis_at};
+pub use ntt::NttPlan;

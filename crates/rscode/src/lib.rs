@@ -91,7 +91,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::TooFewSymbols { received, needed } => {
                 write!(f, "too few symbols: received {received}, need {needed}")
             }
-            DecodeError::BeyondRadius => write!(f, "received word is beyond the unique-decoding radius"),
+            DecodeError::BeyondRadius => {
+                write!(f, "received word is beyond the unique-decoding radius")
+            }
             DecodeError::LengthMismatch { got, expected } => {
                 write!(f, "received word has {got} symbols, code length is {expected}")
             }
@@ -221,18 +223,12 @@ impl RsCode {
         }
         let e_prime = xs.len();
         if e_prime < degree_bound + 1 {
-            return Err(DecodeError::TooFewSymbols {
-                received: e_prime,
-                needed: degree_bound + 1,
-            });
+            return Err(DecodeError::TooFewSymbols { received: e_prime, needed: degree_bound + 1 });
         }
         // G0 over the received points: reuse the precomputed full product
         // when nothing was erased, otherwise rebuild on the subset.
-        let g0 = if erasure_positions.is_empty() {
-            self.g0.clone()
-        } else {
-            vanishing_poly(field, &xs)
-        };
+        let g0 =
+            if erasure_positions.is_empty() { self.g0.clone() } else { vanishing_poly(field, &xs) };
         // G1 interpolates the received values.
         let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
         let g1 = interpolate(field, &pts);

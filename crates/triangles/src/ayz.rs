@@ -58,10 +58,7 @@ pub fn count_triangles_ayz(g: &Graph, tensor: &MatMulTensor) -> AyzRun {
     let omega = tensor.omega();
     let delta = ((m as f64).powf((omega - 1.0) / (omega + 1.0)).ceil() as usize).max(1);
     // Partition.
-    let mut is_high = vec![false; n];
-    for v in 0..n {
-        is_high[v] = g.degree(v) > delta;
-    }
+    let is_high: Vec<bool> = (0..n).map(|v| g.degree(v) > delta).collect();
     let high: Vec<usize> = (0..n).filter(|&v| is_high[v]).collect();
 
     // Phase 1: high-high-high triangles via the split/sparse trace on the

@@ -83,11 +83,10 @@ impl CamelotProblem for TriangleCount {
 
     fn recover(&self, proofs: &[PrimeProof]) -> Result<u64, CamelotError> {
         let parts = self.split.part_count() as u64;
-        let residues: Vec<Residue> =
-            proofs.iter().map(|p| p.sum_residue(1, parts)).collect();
-        let trace = crt_u(&residues).to_u64().ok_or_else(|| CamelotError::RecoveryFailed {
-            reason: "trace exceeded u64".into(),
-        })?;
+        let residues: Vec<Residue> = proofs.iter().map(|p| p.sum_residue(1, parts)).collect();
+        let trace = crt_u(&residues)
+            .to_u64()
+            .ok_or_else(|| CamelotError::RecoveryFailed { reason: "trace exceeded u64".into() })?;
         if trace % 6 != 0 {
             return Err(CamelotError::RecoveryFailed {
                 reason: "trace(A³) not divisible by 6".into(),

@@ -94,12 +94,7 @@ impl TriangleSplit {
     ///
     /// Panics if `outer` is out of range.
     #[must_use]
-    pub fn family_part(
-        &self,
-        field: &PrimeField,
-        family: Family,
-        outer: usize,
-    ) -> Vec<u64> {
+    pub fn family_part(&self, field: &PrimeField, family: Family, outer: usize) -> Vec<u64> {
         let a0 = self.family_matrix(family);
         let splitter = SplitSparseYates::new(a0, self.t_pow, self.splitter.ell());
         splitter.part(field, &self.sparse, outer)
@@ -190,11 +185,7 @@ mod tests {
         for g in [gen::complete(4), gen::complete(7), gen::cycle(5), gen::petersen()] {
             let split = TriangleSplit::new(&g, &tensor);
             let f = field_for(split.padded_size());
-            assert_eq!(
-                split.count_triangles(&f),
-                count_triangles(&g),
-                "graph {g}"
-            );
+            assert_eq!(split.count_triangles(&f), count_triangles(&g), "graph {g}");
         }
     }
 

@@ -31,7 +31,10 @@ fn main() {
     println!("code length e        = {}", outcome.certificate.code_length);
     println!("proof size           = {} field elements", outcome.certificate.proof_size());
     println!("total evaluations    = {}", outcome.report.total_evaluations);
-    println!("per-node evaluations = {} (the paper's E = T/K)", outcome.report.max_node_evaluations);
+    println!(
+        "per-node evaluations = {} (the paper's E = T/K)",
+        outcome.report.max_node_evaluations
+    );
     println!("spot checks passed   = {}", outcome.report.verification_evaluations);
     assert!(outcome.certificate.identified_faulty_nodes.is_empty());
     println!("\nall Knights behaved; the proof verifies.");

@@ -2,8 +2,8 @@
 //!
 //! Umbrella crate for the reproduction of *“How Proofs are Prepared at
 //! Camelot”* (Björklund–Kaski, PODC 2016). Re-exports every workspace
-//! crate under one namespace; see the README for the architecture map and
-//! `DESIGN.md` for the per-experiment index.
+//! crate under one namespace; see `README.md` at the repository root for
+//! the architecture map and the per-experiment index.
 //!
 //! ## Example
 //!

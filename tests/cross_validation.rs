@@ -4,8 +4,12 @@
 use camelot::cliques::{count_cliques_circuit, count_cliques_nesetril_poljak};
 use camelot::core::Engine;
 use camelot::ff::{next_prime, IBig, PrimeField};
-use camelot::graph::{chromatic::chromatic_value_mod, count_k_cliques, count_triangles, gen,
-                     tutte::{eval_tutte_mod, tutte_coefficients}, MultiGraph};
+use camelot::graph::{
+    chromatic::chromatic_value_mod,
+    count_k_cliques, count_triangles, gen,
+    tutte::{eval_tutte_mod, tutte_coefficients},
+    MultiGraph,
+};
 use camelot::linalg::MatMulTensor;
 use camelot::partition::{chromatic_polynomial, eval_integer, tutte_polynomial};
 use camelot::triangles::{count_triangles_ayz, TriangleSplit};
@@ -116,9 +120,7 @@ fn hamming_marginals_match_ov() {
     for (i, row) in dist.iter().enumerate() {
         assert_eq!(row.iter().sum::<u64>(), 6, "row {i} sums to n");
         // distance-0 count = number of identical rows of B.
-        let equal = (0..6)
-            .filter(|&k| (0..4).all(|j| a.get(i, j) == b.get(k, j)))
-            .count() as u64;
+        let equal = (0..6).filter(|&k| (0..4).all(|j| a.get(i, j) == b.get(k, j))).count() as u64;
         assert_eq!(row[0], equal, "row {i} distance-0 count");
     }
 }

@@ -2,10 +2,10 @@
 //! → recover pipeline for each theorem family, under fault injection.
 
 use camelot::algebraic::{BoolMatrix, CnfFormula, CountCnfSat, OrthogonalVectors, Permanent};
+use camelot::cliques::KCliqueCount;
 use camelot::cluster::{FaultKind, FaultPlan};
 use camelot::core::{CamelotError, CamelotProblem, Engine, EngineConfig};
 use camelot::graph::{count_k_cliques, count_triangles, gen};
-use camelot::cliques::KCliqueCount;
 use camelot::partition::{ChromaticValue, SetPartitions};
 use camelot::triangles::TriangleCount;
 

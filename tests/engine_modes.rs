@@ -1,0 +1,89 @@
+//! Engine-level execution-mode regressions: the threaded cluster must be
+//! observationally identical to the sequential one under fault injection,
+//! and batched runs must recover exactly what per-problem runs recover.
+
+use camelot::cluster::{FaultKind, FaultPlan};
+use camelot::core::{CamelotProblem, Engine, EngineConfig};
+use camelot::graph::{count_triangles, gen};
+use camelot::triangles::TriangleCount;
+
+fn faulty_config(nodes: usize, budget: usize, parallel: bool) -> EngineConfig {
+    let plan = FaultPlan::with_faults(
+        nodes,
+        &[(1, FaultKind::Corrupt { seed: 42 }), (4, FaultKind::Crash)],
+    );
+    let base = if parallel {
+        EngineConfig::parallel(nodes, budget)
+    } else {
+        EngineConfig::sequential(nodes, budget)
+    };
+    base.with_plan(plan).with_full_decoding()
+}
+
+/// Full `Engine::run` (not just `run_round`) must agree between the
+/// sequential and threaded cluster backends: same recovered output, same
+/// certificate, and the byzantine + crashed nodes identified identically.
+#[test]
+fn parallel_engine_matches_sequential_under_faults() {
+    let g = gen::gnm(12, 30, 11);
+    let problem = TriangleCount::new(&g);
+    let budget = problem.spec().degree_bound.max(16);
+
+    let seq = Engine::new(faulty_config(8, budget, false)).run(&problem).expect("sequential");
+    let par = Engine::new(faulty_config(8, budget, true)).run(&problem).expect("parallel");
+
+    assert_eq!(seq.output, count_triangles(&g));
+    assert_eq!(seq.output, par.output);
+    assert_eq!(seq.certificate, par.certificate);
+    assert_eq!(seq.certificate.identified_faulty_nodes, vec![1]);
+    assert_eq!(seq.certificate.crashed_nodes, vec![4]);
+    assert_eq!(seq.report.total_evaluations, par.report.total_evaluations);
+    assert_eq!(seq.report.max_node_evaluations, par.report.max_node_evaluations);
+}
+
+/// `Engine::run_batch` recovers exactly the per-problem `Engine::run`
+/// outputs, while sharing one prime/code-length derivation per batch.
+#[test]
+fn batch_output_matches_individual_runs() {
+    let graphs = [gen::gnm(10, 20, 3), gen::gnm(14, 40, 5), gen::petersen()];
+    let problems: Vec<TriangleCount> = graphs.iter().map(TriangleCount::new).collect();
+    let engine = Engine::sequential(6, 8);
+
+    let batched = engine.run_batch(&problems).expect("batch run");
+    assert_eq!(batched.len(), problems.len());
+    for ((problem, outcome), graph) in problems.iter().zip(&batched).zip(&graphs) {
+        let solo = engine.run(problem).expect("solo run");
+        assert_eq!(outcome.output, solo.output);
+        assert_eq!(outcome.output, count_triangles(graph));
+        assert!(outcome.certificate.identified_faulty_nodes.is_empty());
+        assert!(outcome.certificate.crashed_nodes.is_empty());
+    }
+    // The amortized setup is shared: one prime set, one code length.
+    assert!(batched.windows(2).all(|w| w[0].report.primes == w[1].report.primes));
+    assert!(batched.windows(2).all(|w| w[0].report.code_length == w[1].report.code_length));
+}
+
+/// Batched runs identify faulty nodes exactly like per-problem runs.
+#[test]
+fn batch_identifies_faults_like_individual_runs() {
+    let problems: Vec<TriangleCount> =
+        [gen::gnm(9, 16, 7), gen::gnm(11, 24, 9)].iter().map(TriangleCount::new).collect();
+    let budget = problems.iter().map(|p| p.spec().degree_bound).max().unwrap().max(16);
+    let engine = Engine::new(faulty_config(8, budget, false));
+
+    let batched = engine.run_batch(&problems).expect("batch run");
+    for (problem, outcome) in problems.iter().zip(&batched) {
+        let solo = engine.run(problem).expect("solo run");
+        assert_eq!(outcome.output, solo.output);
+        assert_eq!(outcome.certificate.identified_faulty_nodes, vec![1]);
+        assert_eq!(outcome.certificate.crashed_nodes, vec![4]);
+    }
+}
+
+/// An empty batch is a no-op, not an error.
+#[test]
+fn empty_batch_is_ok() {
+    let engine = Engine::sequential(4, 2);
+    let outcomes = engine.run_batch::<TriangleCount>(&[]).expect("empty batch");
+    assert!(outcomes.is_empty());
+}

@@ -3,9 +3,7 @@
 
 use camelot::algebraic::{BoolMatrix, OrthogonalVectors};
 use camelot::cluster::{FaultKind, FaultPlan};
-use camelot::core::{
-    spot_check, CamelotError, CamelotProblem, Certificate, Engine, EngineConfig,
-};
+use camelot::core::{spot_check, CamelotError, CamelotProblem, Certificate, Engine, EngineConfig};
 use camelot::graph::{count_triangles, gen};
 use camelot::triangles::TriangleCount;
 
@@ -34,8 +32,7 @@ fn exactly_at_the_radius_every_fault_kind_decodes() {
         // Exactly `budget` faulty nodes = exactly `budget` symbol errors.
         let faults: Vec<(usize, FaultKind)> = (0..budget).map(|i| (i * 7 + 1, kind)).collect();
         let plan = FaultPlan::with_faults(nodes, &faults);
-        let config =
-            EngineConfig::sequential(nodes, budget).with_plan(plan).with_full_decoding();
+        let config = EngineConfig::sequential(nodes, budget).with_plan(plan).with_full_decoding();
         let outcome = Engine::new(config).run(&p).expect("exactly at the radius");
         assert_eq!(outcome.output, expect, "kind {kind:?}");
         assert_eq!(

@@ -1,22 +1,27 @@
-//! Property-based tests (proptest) on the framework's core invariants.
+//! Property-based tests on the framework's core invariants.
+//!
+//! Hand-rolled: the build environment has no crates.io registry, so
+//! instead of `proptest` each property runs against 64 deterministic
+//! pseudo-random cases drawn from the workspace's own [`SplitMix64`].
 
-use camelot::ff::{crt_i, crt_u, IBig, PrimeField, Residue, UBig};
+use camelot::ff::{crt_i, crt_u, IBig, PrimeField, Residue, RngLike, SplitMix64, UBig};
 use camelot::poly::{interpolate, Poly};
 use camelot::rscode::RsCode;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// decode(encode(P) + any error pattern within radius) == P, with the
-    /// error positions identified exactly.
-    #[test]
-    fn rs_roundtrip_within_radius(
-        coeffs in prop::collection::vec(0u64..1_000_000_007, 1..12),
-        extra in 2usize..24,
-        err_seed in any::<u64>(),
-    ) {
-        let field = PrimeField::new(1_000_000_007).unwrap();
+/// decode(encode(P) + any error pattern within radius) == P, with the
+/// error positions identified exactly.
+#[test]
+fn rs_roundtrip_within_radius() {
+    let field = PrimeField::new(1_000_000_007).unwrap();
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x25_C0DE ^ case);
+        let len = 1 + (rng.next_u64() % 11) as usize;
+        let coeffs: Vec<u64> = (0..len).map(|_| rng.next_u64() % 1_000_000_007).collect();
+        let extra = 2 + (rng.next_u64() % 22) as usize;
+        let err_seed = rng.next_u64();
+
         let msg = Poly::from_coeffs(&field, coeffs);
         let d = msg.degree().unwrap_or(0);
         let e = d + 1 + extra;
@@ -36,85 +41,123 @@ proptest! {
             word[p] = Some(field.add(clean[p], 1 + (s >> 33) % 1000));
         }
         let decoded = code.decode(&field, &word, d).unwrap();
-        prop_assert_eq!(&decoded.poly, &msg);
-        prop_assert_eq!(decoded.error_positions, positions.into_iter().collect::<Vec<_>>());
+        assert_eq!(&decoded.poly, &msg, "case {case}");
+        assert_eq!(
+            decoded.error_positions,
+            positions.into_iter().collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Interpolation is a left inverse of evaluation.
-    #[test]
-    fn interpolation_inverts_evaluation(
-        coeffs in prop::collection::vec(0u64..65_537, 1..20),
-    ) {
-        let field = PrimeField::new(65_537).unwrap();
+/// Interpolation is a left inverse of evaluation.
+#[test]
+fn interpolation_inverts_evaluation() {
+    let field = PrimeField::new(65_537).unwrap();
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x0001_A7E4_CA5E ^ case);
+        let len = 1 + (rng.next_u64() % 19) as usize;
+        let coeffs: Vec<u64> = (0..len).map(|_| rng.next_u64() % 65_537).collect();
         let p = Poly::from_coeffs(&field, coeffs);
         let n = p.degree().map_or(1, |d| d + 1);
         let pts: Vec<(u64, u64)> = (0..n as u64).map(|x| (x, p.eval(&field, x))).collect();
-        prop_assert_eq!(interpolate(&field, &pts), p);
+        assert_eq!(interpolate(&field, &pts), p, "case {case}");
     }
+}
 
-    /// CRT round-trips arbitrary u128 values through 3 large primes.
-    #[test]
-    fn crt_roundtrip_u128(x in any::<u128>()) {
-        let primes = camelot::ff::primes_above(1 << 61, 3);
+/// CRT round-trips arbitrary u128 values through 3 large primes,
+/// including the boundary values uniform sampling would miss.
+#[test]
+fn crt_roundtrip_u128() {
+    let primes = camelot::ff::primes_above(1 << 61, 3);
+    let random = (0..CASES).map(|case| {
+        let mut rng = SplitMix64::new(0xC47 ^ case);
+        u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())
+    });
+    for x in [0u128, 1, u128::from(u64::MAX), u128::from(u64::MAX) + 1].into_iter().chain(random) {
         let residues: Vec<Residue> = primes
             .iter()
             .map(|&q| Residue { modulus: q, value: (x % u128::from(q)) as u64 })
             .collect();
-        prop_assert_eq!(crt_u(&residues).to_u128(), Some(x));
+        assert_eq!(crt_u(&residues).to_u128(), Some(x), "x = {x}");
     }
+}
 
-    /// Signed CRT round-trips i64 values (symmetric lift).
-    #[test]
-    fn crt_roundtrip_signed(x in any::<i64>()) {
-        let primes = camelot::ff::primes_above(1 << 40, 2);
+/// Signed CRT round-trips i64 values (symmetric lift), including the
+/// extremes of the signed range.
+#[test]
+fn crt_roundtrip_signed() {
+    let primes = camelot::ff::primes_above(1 << 40, 2);
+    let random = (0..CASES).map(|case| {
+        let mut rng = SplitMix64::new(0x51_6E ^ case);
+        rng.next_u64() as i64
+    });
+    for x in [0i64, 1, -1, i64::MIN, i64::MAX].into_iter().chain(random) {
         let residues: Vec<Residue> = primes
             .iter()
             .map(|&q| Residue { modulus: q, value: x.rem_euclid(q as i64) as u64 })
             .collect();
-        prop_assert_eq!(crt_i(&residues).to_i64(), Some(x));
+        assert_eq!(crt_i(&residues).to_i64(), Some(x), "x = {x}");
     }
+}
 
-    /// UBig arithmetic agrees with u128 where comparable.
-    #[test]
-    fn ubig_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+/// UBig arithmetic agrees with u128 where comparable, including the
+/// carry/borrow boundary values uniform sampling would miss.
+#[test]
+fn ubig_matches_u128() {
+    let random = (0..CASES).map(|case| {
+        let mut rng = SplitMix64::new(0xB16 ^ case);
+        (rng.next_u64(), rng.next_u64())
+    });
+    let edges = [(0u64, 0u64), (0, u64::MAX), (u64::MAX, u64::MAX), (u64::MAX, 1), (1, 0)];
+    for (a, b) in edges.into_iter().chain(random) {
         let (ba, bb) = (UBig::from_u64(a), UBig::from_u64(b));
-        prop_assert_eq!(ba.add(&bb).to_u128(), Some(u128::from(a) + u128::from(b)));
-        prop_assert_eq!(ba.mul(&bb).to_u128(), Some(u128::from(a) * u128::from(b)));
+        assert_eq!(ba.add(&bb).to_u128(), Some(u128::from(a) + u128::from(b)));
+        assert_eq!(ba.mul(&bb).to_u128(), Some(u128::from(a) * u128::from(b)));
         if a >= b {
-            prop_assert_eq!(ba.sub(&bb).to_u64(), Some(a - b));
+            assert_eq!(ba.sub(&bb).to_u64(), Some(a - b));
         }
         if b != 0 {
             let (q, r) = ba.div_rem_u64(b);
-            prop_assert_eq!(q.to_u64(), Some(a / b));
-            prop_assert_eq!(r, a % b);
+            assert_eq!(q.to_u64(), Some(a / b));
+            assert_eq!(r, a % b);
         }
     }
+}
 
-    /// IBig ring laws on random i64 triples.
-    #[test]
-    fn ibig_ring_laws(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
-        let (ia, ib, ic) = (IBig::from_i64(a.into()), IBig::from_i64(b.into()), IBig::from_i64(c.into()));
+/// IBig ring laws on random i32 triples, plus the signed extremes.
+#[test]
+fn ibig_ring_laws() {
+    let random = (0..CASES).map(|case| {
+        let mut rng = SplitMix64::new(0x1B16 ^ case);
+        (rng.next_u64() as i32, rng.next_u64() as i32, rng.next_u64() as i32)
+    });
+    let edges = [(0i32, 0i32, 0i32), (i32::MIN, i32::MAX, -1), (i32::MIN, i32::MIN, i32::MIN)];
+    for (a, b, c) in edges.into_iter().chain(random) {
+        let (ia, ib, ic) =
+            (IBig::from_i64(a.into()), IBig::from_i64(b.into()), IBig::from_i64(c.into()));
         // (a + b) * c == a*c + b*c
-        prop_assert_eq!(
-            ia.add(&ib).mul(&ic),
-            ia.mul(&ic).add(&ib.mul(&ic))
-        );
+        assert_eq!(ia.add(&ib).mul(&ic), ia.mul(&ic).add(&ib.mul(&ic)));
         // a - a == 0, a * 1 == a
-        prop_assert!(ia.sub(&ia).is_zero());
-        prop_assert_eq!(ia.mul(&IBig::from_i64(1)), ia);
+        assert!(ia.sub(&ia).is_zero());
+        assert_eq!(ia.mul(&IBig::from_i64(1)), ia);
     }
+}
 
-    /// Field axioms under random triples.
-    #[test]
-    fn field_axioms(a in 0u64..4_294_967_291, b in 0u64..4_294_967_291, c in 0u64..4_294_967_291) {
-        let f = PrimeField::new(4_294_967_291).unwrap(); // largest 32-bit prime
-        prop_assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
-        prop_assert_eq!(f.add(a, b), f.add(b, a));
-        prop_assert_eq!(f.mul(a, b), f.mul(b, a));
-        prop_assert_eq!(f.sub(f.add(a, b), b), a);
+/// Field axioms under random triples.
+#[test]
+fn field_axioms() {
+    let f = PrimeField::new(4_294_967_291).unwrap(); // largest 32-bit prime
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF1E1D ^ case);
+        let (a, b, c) = (f.sample(&mut rng), f.sample(&mut rng), f.sample(&mut rng));
+        assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+        assert_eq!(f.add(a, b), f.add(b, a));
+        assert_eq!(f.mul(a, b), f.mul(b, a));
+        assert_eq!(f.sub(f.add(a, b), b), a);
         if a != 0 {
-            prop_assert_eq!(f.mul(a, f.inv(a)), 1);
+            assert_eq!(f.mul(a, f.inv(a)), 1);
         }
-        prop_assert_eq!(f.pow(a, 4_294_967_290), if a == 0 { 0 } else { 1 });
+        assert_eq!(f.pow(a, 4_294_967_290), if a == 0 { 0 } else { 1 });
     }
 }
