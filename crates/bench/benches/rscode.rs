@@ -1,0 +1,60 @@
+//! Criterion benches for the Reed–Solomon codeword pipeline: encode
+//! (Horner baseline vs subproduct-tree fast path), interpolation (Newton
+//! baseline vs tree), and full Gao decoding, over an NTT-friendly prime.
+
+use camelot_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use camelot_bench::{fault_every_16th, random_message};
+use camelot_ff::{ntt_prime, PrimeField, SplitMix64};
+use camelot_poly::{eval_many, interpolate, interpolate_fast};
+use camelot_rscode::RsCode;
+
+fn bench_rscode(c: &mut Criterion) {
+    let (q, _) = ntt_prime(1 << 20, 16);
+    let field = PrimeField::new(q).unwrap();
+    let mut group = c.benchmark_group("rscode");
+    group.sample_size(5);
+    for &log in &[10u32, 12] {
+        let e = 1usize << log;
+        let d = e / 2;
+        let mut rng = SplitMix64::new(u64::from(log));
+        let msg = random_message(&field, d, &mut rng);
+        let code = RsCode::consecutive(&field, e);
+        let clean = code.encode(&field, &msg);
+
+        group.bench_with_input(BenchmarkId::new("encode_horner", e), &e, |b, _| {
+            b.iter(|| eval_many(&field, &msg, code.points()));
+        });
+        group.bench_with_input(BenchmarkId::new("encode_fast", e), &e, |b, _| {
+            b.iter(|| code.encode(&field, &msg));
+        });
+
+        let pts: Vec<(u64, u64)> =
+            code.points().iter().copied().zip(clean.iter().copied()).collect();
+        group.bench_with_input(BenchmarkId::new("interpolate_newton", e), &e, |b, _| {
+            b.iter(|| interpolate(&field, &pts));
+        });
+        group.bench_with_input(BenchmarkId::new("interpolate_fast", e), &e, |b, _| {
+            b.iter(|| interpolate_fast(&field, &pts));
+        });
+
+        let word = fault_every_16th(&field, &clean);
+        group.bench_with_input(BenchmarkId::new("decode_gao", e), &e, |b, _| {
+            b.iter(|| code.decode(&field, &word, d).unwrap());
+        });
+
+        // Roots-of-unity schedule: encode is one forward transform.
+        let roots = RsCode::roots_of_unity(&field, e).expect("NTT-friendly prime");
+        group.bench_with_input(BenchmarkId::new("encode_ntt", e), &e, |b, _| {
+            b.iter(|| roots.encode(&field, &msg));
+        });
+        let clean_r = roots.encode(&field, &msg);
+        let word_r = fault_every_16th(&field, &clean_r);
+        group.bench_with_input(BenchmarkId::new("decode_gao_ntt", e), &e, |b, _| {
+            b.iter(|| roots.decode(&field, &word_r, d).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rscode);
+criterion_main!(benches);

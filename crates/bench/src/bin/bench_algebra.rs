@@ -1,0 +1,187 @@
+//! Machine-readable benchmark of the fast algebra stack, across code
+//! lengths `2^min_log .. 2^max_log` over NTT-friendly primes:
+//!
+//! * consecutive-point Reed–Solomon code: encode (Horner baseline vs
+//!   subproduct-tree dispatch), interpolation (Newton baseline vs tree),
+//!   full Gao decode;
+//! * roots-of-unity code (the engine's NTT-friendly schedule): encode
+//!   (Horner baseline vs single forward NTT) and full Gao decode.
+//!
+//! Writes `BENCH_algebra.json` (override with `--out`), the committed
+//! trajectory for the algebra hot path. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p camelot-bench --bin bench_algebra
+//! ```
+//!
+//! Flags: `--min-log N` (default 8), `--max-log N` (default 14),
+//! `--samples N` (default 3, the timer keeps the minimum), `--out PATH`.
+//! CI smoke-runs tiny sizes: `--min-log 4 --max-log 6 --samples 1`.
+
+use camelot_bench::{fault_every_16th, fmt_duration, random_message, Table};
+use camelot_ff::{ntt_prime, PrimeField, SplitMix64};
+use camelot_poly::{eval_many, interpolate, interpolate_fast};
+use camelot_rscode::RsCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    min_log: u32,
+    max_log: u32,
+    samples: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { min_log: 8, max_log: 14, samples: 3, out: "BENCH_algebra.json".to_string() };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
+        match flag.as_str() {
+            "--min-log" => args.min_log = value().parse().expect("--min-log takes an integer"),
+            "--max-log" => args.max_log = value().parse().expect("--max-log takes an integer"),
+            "--samples" => args.samples = value().parse().expect("--samples takes an integer"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other} (expected --min-log/--max-log/--samples/--out)"),
+        }
+    }
+    assert!(args.min_log <= args.max_log, "--min-log must not exceed --max-log");
+    assert!(args.max_log < 30, "--max-log is unreasonably large");
+    assert!(args.samples > 0, "--samples must be positive");
+    args
+}
+
+/// Minimum wall time over `samples` runs (after one warm-up).
+fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn speedup(naive: Duration, fast: Duration) -> f64 {
+    us(naive) / us(fast).max(1e-9)
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "len",
+        "prime",
+        "enc Horner",
+        "enc tree",
+        "x",
+        "enc NTT",
+        "x",
+        "int Newton",
+        "int tree",
+        "x",
+        "decode",
+    ]);
+
+    for log in args.min_log..=args.max_log {
+        let e = 1usize << log;
+        let d = e / 2;
+        // One NTT-friendly prime per length, admitting transforms of
+        // length 2^(log+1) (products of two codeword-degree operands).
+        let (q, _) = ntt_prime(1 << 20, log + 1);
+        let field = PrimeField::new(q).unwrap();
+        let mut rng = SplitMix64::new(0xBE_AC * u64::from(log));
+        let msg = random_message(&field, d, &mut rng);
+
+        // Consecutive points: subproduct-tree paths.
+        let code = RsCode::consecutive(&field, e);
+        let clean = code.encode(&field, &msg);
+        assert_eq!(clean, eval_many(&field, &msg, code.points()), "tree encode disagrees");
+        let t_enc_naive = best_of(args.samples, || eval_many(&field, &msg, code.points()));
+        let t_enc_tree = best_of(args.samples, || code.encode(&field, &msg));
+        let pts: Vec<(u64, u64)> =
+            code.points().iter().copied().zip(clean.iter().copied()).collect();
+        assert_eq!(interpolate_fast(&field, &pts), interpolate(&field, &pts));
+        let t_int_naive = best_of(args.samples, || interpolate(&field, &pts));
+        let t_int_tree = best_of(args.samples, || interpolate_fast(&field, &pts));
+        let word = fault_every_16th(&field, &clean);
+        let t_decode = best_of(args.samples, || code.decode(&field, &word, d).unwrap());
+
+        // Roots-of-unity points: transform-backed paths (the engine's
+        // NTT-friendly schedule).
+        let roots = RsCode::roots_of_unity(&field, e).expect("prime admits a length-e orbit");
+        let clean_r = roots.encode(&field, &msg);
+        assert_eq!(clean_r, eval_many(&field, &msg, roots.points()), "NTT encode disagrees");
+        let t_enc_r_naive = best_of(args.samples, || eval_many(&field, &msg, roots.points()));
+        let t_enc_ntt = best_of(args.samples, || roots.encode(&field, &msg));
+        let word_r = fault_every_16th(&field, &clean_r);
+        let t_decode_ntt = best_of(args.samples, || roots.decode(&field, &word_r, d).unwrap());
+
+        table.row(&[
+            e.to_string(),
+            q.to_string(),
+            fmt_duration(t_enc_naive),
+            fmt_duration(t_enc_tree),
+            format!("{:.1}", speedup(t_enc_naive, t_enc_tree)),
+            fmt_duration(t_enc_ntt),
+            format!("{:.0}", speedup(t_enc_r_naive, t_enc_ntt)),
+            fmt_duration(t_int_naive),
+            fmt_duration(t_int_tree),
+            format!("{:.1}", speedup(t_int_naive, t_int_tree)),
+            fmt_duration(t_decode),
+        ]);
+        rows.push(format!(
+            concat!(
+                "    {{\"log2_len\": {}, \"len\": {}, \"prime\": {}, \"degree\": {},\n",
+                "     \"consecutive\": {{",
+                "\"encode_horner_us\": {:.2}, \"encode_tree_us\": {:.2}, ",
+                "\"encode_speedup\": {:.2}, ",
+                "\"interpolate_newton_us\": {:.2}, \"interpolate_tree_us\": {:.2}, ",
+                "\"interpolate_speedup\": {:.2}, \"decode_us\": {:.2}}},\n",
+                "     \"roots_of_unity\": {{",
+                "\"encode_horner_us\": {:.2}, \"encode_ntt_us\": {:.2}, ",
+                "\"encode_speedup\": {:.2}, \"decode_us\": {:.2}}}}}"
+            ),
+            log,
+            e,
+            q,
+            d,
+            us(t_enc_naive),
+            us(t_enc_tree),
+            speedup(t_enc_naive, t_enc_tree),
+            us(t_int_naive),
+            us(t_int_tree),
+            speedup(t_int_naive, t_int_tree),
+            us(t_decode),
+            us(t_enc_r_naive),
+            us(t_enc_ntt),
+            speedup(t_enc_r_naive, t_enc_ntt),
+            us(t_decode_ntt),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"camelot-bench-algebra/v2\",\n",
+            "  \"description\": \"Reed-Solomon codeword pipeline: Horner/Newton baselines ",
+            "vs subproduct-tree and NTT fast paths (message degree = len/2)\",\n",
+            "  \"prime_schedule\": \"smallest q >= 2^20 with q = 1 mod 2^(log2_len+1)\",\n",
+            "  \"samples\": {},\n",
+            "  \"timer\": \"best-of-samples wall clock, release build\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.samples,
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, &json)
+        .unwrap_or_else(|err| panic!("cannot write {}: {err}", args.out));
+    table.print("algebra stack: naive baselines vs fast paths");
+    println!("\nwrote {}", args.out);
+}

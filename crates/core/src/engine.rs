@@ -16,16 +16,34 @@
 use crate::error::CamelotError;
 use crate::problem::{CamelotProblem, PrimeProof, ProofSpec};
 use camelot_cluster::{run_round, ClusterConfig, FaultPlan};
-use camelot_ff::{primes_above, PrimeField, SplitMix64};
+use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
 use std::collections::BTreeSet;
 use std::time::Duration;
+
+/// How the engine derives its deterministic prime moduli from a proof
+/// spec. Every node derives the same schedule from the common input
+/// (§1.3 of the paper), whichever variant is configured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PrimeSchedule {
+    /// The smallest admissible primes above the spec floor
+    /// ([`choose_primes`]) — the paper's schedule.
+    #[default]
+    Smallest,
+    /// Primes `q ≡ 1 (mod 2^k)` with `2^k` at least twice the code
+    /// length ([`choose_primes_ntt`]), so every codeword-sized
+    /// polynomial product in Reed–Solomon encoding and Gao decoding can
+    /// run through the number-theoretic transform.
+    NttFriendly,
+}
 
 /// Engine configuration for one run.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// The simulated cluster (node count, threading).
     pub cluster: ClusterConfig,
+    /// Prime-modulus schedule (default: smallest admissible primes).
+    pub prime_schedule: PrimeSchedule,
     /// Fault budget `f`: the code length is `e = d + 1 + 2f`, so up to
     /// `f` corrupted symbols (or any mix of errors and twice as many
     /// erasures) are tolerated.
@@ -48,6 +66,7 @@ impl EngineConfig {
     pub fn sequential(nodes: usize, fault_tolerance: usize) -> Self {
         EngineConfig {
             cluster: ClusterConfig::sequential(nodes),
+            prime_schedule: PrimeSchedule::default(),
             fault_tolerance,
             plan: None,
             decode_at_all_nodes: false,
@@ -91,6 +110,25 @@ impl EngineConfig {
     pub fn with_full_decoding(mut self) -> Self {
         self.decode_at_all_nodes = true;
         self
+    }
+
+    /// Switches the prime schedule to NTT-friendly moduli
+    /// ([`PrimeSchedule::NttFriendly`]), accelerating the codeword
+    /// pipeline for large code lengths.
+    #[must_use]
+    pub fn with_ntt_primes(mut self) -> Self {
+        self.prime_schedule = PrimeSchedule::NttFriendly;
+        self
+    }
+
+    /// The prime moduli this configuration derives for a spec and code
+    /// length.
+    #[must_use]
+    pub fn primes_for(&self, spec: &ProofSpec, code_len: usize) -> Vec<u64> {
+        match self.prime_schedule {
+            PrimeSchedule::Smallest => choose_primes(spec, code_len),
+            PrimeSchedule::NttFriendly => choose_primes_ntt(spec, code_len),
+        }
     }
 }
 
@@ -156,23 +194,52 @@ pub fn code_length(spec: &ProofSpec, fault_tolerance: usize) -> usize {
     spec.degree_bound + 1 + 2 * fault_tolerance
 }
 
-/// Deterministically selects prime moduli for a spec: all primes are at
-/// least `max(min_modulus, e + 1)` and their product exceeds
-/// `2^(value_bits + 1)` (one guard bit for symmetric signed lifts).
-#[must_use]
-pub fn choose_primes(spec: &ProofSpec, code_len: usize) -> Vec<u64> {
+/// Shared admissibility/coverage rules of both prime schedules: walk
+/// `next` upward from `max(min_modulus, e + 1, 2^20)` until the product
+/// of the selected primes exceeds `2^(value_bits + 1)` (one guard bit
+/// for symmetric signed lifts).
+fn accumulate_primes(
+    spec: &ProofSpec,
+    code_len: usize,
+    mut next: impl FnMut(u64) -> u64,
+) -> Vec<u64> {
     let floor = spec.min_modulus.max(code_len as u64 + 1).max(1 << 20);
     let mut primes = Vec::new();
     let mut bits_covered = 0u64;
     let mut cursor = floor;
     while bits_covered <= spec.value_bits + 1 {
-        let batch = primes_above(cursor, 1);
-        let p = batch[0];
+        let p = next(cursor);
         bits_covered += 63 - u64::from(p.leading_zeros());
         cursor = p + 1;
         primes.push(p);
     }
     primes
+}
+
+/// Deterministically selects prime moduli for a spec: all primes are at
+/// least `max(min_modulus, e + 1)` and their product exceeds
+/// `2^(value_bits + 1)` (one guard bit for symmetric signed lifts).
+#[must_use]
+pub fn choose_primes(spec: &ProofSpec, code_len: usize) -> Vec<u64> {
+    accumulate_primes(spec, code_len, |cursor| primes_above(cursor, 1)[0])
+}
+
+/// Transform-length exponent for an NTT-friendly schedule: `2^k` at
+/// least twice the code length, covering products of two
+/// codeword-degree polynomials in the Gao decoder.
+#[must_use]
+pub fn ntt_log_len(code_len: usize) -> u32 {
+    (2 * code_len.max(1)).next_power_of_two().trailing_zeros()
+}
+
+/// Deterministically selects NTT-friendly prime moduli for a spec: the
+/// same floor and coverage rules as [`choose_primes`], but every prime
+/// satisfies `q ≡ 1 (mod 2^k)` for `k = `[`ntt_log_len`]`(code_len)`, so
+/// the codeword pipeline multiplies polynomials through the NTT.
+#[must_use]
+pub fn choose_primes_ntt(spec: &ProofSpec, code_len: usize) -> Vec<u64> {
+    let k = ntt_log_len(code_len);
+    accumulate_primes(spec, code_len, |cursor| ntt_prime(cursor, k).0)
 }
 
 /// The Camelot engine.
@@ -224,7 +291,7 @@ impl Engine {
     ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
         let spec = problem.spec();
         let e = code_length(&spec, self.config.fault_tolerance);
-        let primes = choose_primes(&spec, e);
+        let primes = self.config.primes_for(&spec, e);
         self.run_prepared(problem, &spec, &primes, e)
     }
 
@@ -257,7 +324,7 @@ impl Engine {
             specs.iter().map(|s| s.value_bits).max().expect("nonempty batch"),
         );
         let e = code_length(&joint, self.config.fault_tolerance);
-        let primes = choose_primes(&joint, e);
+        let primes = self.config.primes_for(&joint, e);
         problems
             .iter()
             .zip(&specs)
@@ -310,10 +377,19 @@ impl Engine {
         let mut proofs = Vec::with_capacity(primes.len());
         let mut faulty: BTreeSet<usize> = BTreeSet::new();
         let mut crashed: BTreeSet<usize> = BTreeSet::new();
-        let points: Vec<u64> = (0..e as u64).collect();
 
         for &q in primes {
             let field = PrimeField::new_unchecked(q);
+            // Evaluation schedule: consecutive points by default; the
+            // first `e` powers of a root of unity under the NTT-friendly
+            // schedule, making encode/decode transform-backed. Every
+            // node derives the same points from the common input.
+            let code = match self.config.prime_schedule {
+                PrimeSchedule::Smallest => RsCode::consecutive(&field, e),
+                PrimeSchedule::NttFriendly => RsCode::roots_of_unity(&field, e)
+                    .unwrap_or_else(|| RsCode::consecutive(&field, e)),
+            };
+            let points = code.points().to_vec();
             let evaluator = problem.evaluator(&field);
             let broadcast =
                 run_round(&self.config.cluster, &field, &points, &plan, |x| evaluator.eval(x));
@@ -323,7 +399,6 @@ impl Engine {
                 broadcast.stats.iter().map(|s| s.elapsed).max().unwrap_or_default();
 
             // Every deciding node runs the Gao decoder on its own view.
-            let code = RsCode::consecutive(&field, e);
             let deciders: &[usize] =
                 if self.config.decode_at_all_nodes { &honest } else { &honest[..1] };
             let mut agreed: Option<PrimeProof> = None;
@@ -482,6 +557,40 @@ mod tests {
         assert_eq!(outcome.report.total_evaluations, e * primes);
         assert_eq!(outcome.report.verification_evaluations, 2 * primes);
         assert!(outcome.report.max_node_evaluations >= e.div_ceil(5) * primes);
+    }
+
+    #[test]
+    fn ntt_schedule_recovers_answer_with_friendly_primes() {
+        let problem = Cube { c: 777 };
+        let config = EngineConfig::sequential(4, 3).with_ntt_primes();
+        let outcome = Engine::new(config).run(&problem).unwrap();
+        assert_eq!(outcome.output, 777u128.pow(3));
+        let k = ntt_log_len(outcome.report.code_length);
+        for &q in &outcome.report.primes {
+            assert_eq!((q - 1) % (1u64 << k), 0, "prime {q} is not 1 mod 2^{k}");
+        }
+        // Enough CRT coverage, exactly like the default schedule.
+        let bits: u64 =
+            outcome.report.primes.iter().map(|q| 63 - u64::from(q.leading_zeros())).sum();
+        assert!(bits > 97);
+    }
+
+    #[test]
+    fn choose_primes_ntt_is_deterministic_and_admissible() {
+        let spec = ProofSpec::new(10, 1 << 22, 150);
+        let primes = choose_primes_ntt(&spec, 300);
+        assert_eq!(primes, choose_primes_ntt(&spec, 300));
+        let k = ntt_log_len(300); // 2^k = 1024
+        assert_eq!(1u64 << k, 1024);
+        for &q in &primes {
+            assert!(q > 1 << 22);
+            assert!(camelot_ff::is_prime_u64(q));
+            assert_eq!((q - 1) % (1 << k), 0);
+        }
+        let mut sorted = primes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), primes.len(), "moduli must be distinct");
     }
 
     #[test]

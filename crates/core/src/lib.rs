@@ -27,7 +27,8 @@ mod verify;
 mod wire;
 
 pub use engine::{
-    choose_primes, code_length, CamelotOutcome, Certificate, Engine, EngineConfig, RunReport,
+    choose_primes, choose_primes_ntt, code_length, ntt_log_len, CamelotOutcome, Certificate,
+    Engine, EngineConfig, PrimeSchedule, RunReport,
 };
 pub use error::CamelotError;
 pub use merlin::{arthur_verify, merlin_prove};

@@ -6,8 +6,27 @@
 //! holding the modulus; field elements are raw `u64` values in `[0, q)`.
 //! All products go through `u128` widening so any `q < 2^62` is safe even
 //! for sums of a few products.
+//!
+//! Reduction uses Barrett's method: the descriptor carries
+//! `⌊2^128 / q⌋`, so [`PrimeField::mul`] / [`PrimeField::mul_add`] /
+//! [`PrimeField::pow`] cost a handful of word multiplications instead of
+//! a 128-bit hardware division. For loops that multiply by one fixed
+//! constant many times (NTT twiddles), [`PrimeField::shoup_precompute`] /
+//! [`PrimeField::mul_shoup`] shave this further to two multiplications.
 
 use crate::prime::is_prime_u64;
+
+/// High 128 bits of the 256-bit product `x * y`, by 64-bit limbs.
+#[inline]
+fn mulhi_u128(x: u128, y: u128) -> u128 {
+    let (x0, x1) = (x & u128::from(u64::MAX), x >> 64);
+    let (y0, y1) = (y & u128::from(u64::MAX), y >> 64);
+    let lo = x0 * y0;
+    let m1 = x1 * y0;
+    let m2 = x0 * y1;
+    let carry = ((lo >> 64) + (m1 & u128::from(u64::MAX)) + (m2 & u128::from(u64::MAX))) >> 64;
+    x1 * y1 + (m1 >> 64) + (m2 >> 64) + carry
+}
 
 /// Maximum supported modulus (exclusive). Keeping two bits of headroom
 /// allows `a + b` and the lazy accumulation patterns used in the linear
@@ -29,6 +48,10 @@ pub const MAX_MODULUS: u64 = 1 << 62;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PrimeField {
     q: u64,
+    /// Barrett reciprocal `⌊(2^128 - 1) / q⌋` (equal to `⌊2^128 / q⌋` for
+    /// every odd `q`; off by one for `q = 2`, absorbed by the correction
+    /// loop in [`PrimeField::barrett_reduce`]).
+    barrett: u128,
 }
 
 /// Error returned by [`PrimeField::new`] for invalid moduli.
@@ -65,7 +88,12 @@ impl PrimeField {
         if !is_prime_u64(q) {
             return Err(FieldError::NotPrime(q));
         }
-        Ok(PrimeField { q })
+        Ok(Self::descriptor(q))
+    }
+
+    #[inline]
+    fn descriptor(q: u64) -> Self {
+        PrimeField { q, barrett: u128::MAX / u128::from(q) }
     }
 
     /// Creates the field without checking primality.
@@ -77,7 +105,7 @@ impl PrimeField {
     #[must_use]
     pub fn new_unchecked(q: u64) -> Self {
         debug_assert!((2..MAX_MODULUS).contains(&q));
-        PrimeField { q }
+        Self::descriptor(q)
     }
 
     /// The modulus `q`.
@@ -87,18 +115,38 @@ impl PrimeField {
         self.q
     }
 
+    /// Barrett reduction of an arbitrary `u128` into `[0, q)`.
+    ///
+    /// The quotient estimate `⌊a · ⌊2^128/q⌋ / 2^128⌋` undershoots the
+    /// true quotient by at most 2, so the remainder lands in `[0, 3q)`
+    /// (`3q < 2^64`, so the wrapping low-word arithmetic is exact) and at
+    /// most two conditional subtractions finish the job.
+    #[inline]
+    fn barrett_reduce(&self, a: u128) -> u64 {
+        let q_hat = mulhi_u128(a, self.barrett);
+        let mut r = (a as u64).wrapping_sub((q_hat as u64).wrapping_mul(self.q));
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
     /// Reduces an arbitrary `u64` into `[0, q)`.
     #[inline]
     #[must_use]
     pub fn reduce(&self, a: u64) -> u64 {
-        a % self.q
+        if a < self.q {
+            a
+        } else {
+            self.barrett_reduce(u128::from(a))
+        }
     }
 
     /// Reduces an `u128` into `[0, q)`.
     #[inline]
     #[must_use]
     pub fn reduce_u128(&self, a: u128) -> u64 {
-        (a % u128::from(self.q)) as u64
+        self.barrett_reduce(a)
     }
 
     /// Embeds a signed integer, mapping negatives to `q - |a| mod q`.
@@ -155,14 +203,40 @@ impl PrimeField {
     #[must_use]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
-        (u128::from(a) * u128::from(b) % u128::from(self.q)) as u64
+        self.barrett_reduce(u128::from(a) * u128::from(b))
     }
 
     /// Fused multiply-add `acc + a * b mod q`.
     #[inline]
     #[must_use]
     pub fn mul_add(&self, acc: u64, a: u64, b: u64) -> u64 {
-        ((u128::from(a) * u128::from(b) + u128::from(acc)) % u128::from(self.q)) as u64
+        self.barrett_reduce(u128::from(a) * u128::from(b) + u128::from(acc))
+    }
+
+    /// Precomputes the Shoup companion `⌊c · 2^64 / q⌋` for a fixed
+    /// multiplicand `c`, enabling [`PrimeField::mul_shoup`].
+    #[inline]
+    #[must_use]
+    pub fn shoup_precompute(&self, c: u64) -> u64 {
+        debug_assert!(c < self.q);
+        ((u128::from(c) << 64) / u128::from(self.q)) as u64
+    }
+
+    /// `a * c mod q` where `c_shoup = shoup_precompute(c)`: two word
+    /// multiplications, no wide reduction. This is the classic Shoup
+    /// butterfly multiplication used when one operand is a loop-invariant
+    /// constant (NTT twiddle factors).
+    #[inline]
+    #[must_use]
+    pub fn mul_shoup(&self, a: u64, c: u64, c_shoup: u64) -> u64 {
+        debug_assert!(a < self.q && c < self.q);
+        let q_hat = ((u128::from(a) * u128::from(c_shoup)) >> 64) as u64;
+        let r = a.wrapping_mul(c).wrapping_sub(q_hat.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
     }
 
     /// `a^e mod q` by square-and-multiply.
@@ -279,7 +353,7 @@ pub mod rand_like {
 
 #[cfg(test)]
 mod tests {
-    use super::rand_like::SplitMix64;
+    use super::rand_like::{RngLike, SplitMix64};
     use super::*;
 
     #[test]
@@ -346,6 +420,72 @@ mod tests {
         f.inv_batch(&mut batch);
         for (v, b) in vals.iter().zip(&batch) {
             assert_eq!(f.inv(*v), *b);
+        }
+    }
+
+    /// Exhaustive cross-check of the Barrett reduction paths against
+    /// hardware division, over every residue pair of several small primes
+    /// (including the edge modulus 2, where the stored reciprocal is off
+    /// by one and must be absorbed by the correction loop).
+    #[test]
+    fn barrett_matches_hardware_division_exhaustive_small() {
+        for q in [2u64, 3, 5, 7, 97, 251] {
+            let f = PrimeField::new(q).unwrap();
+            for a in 0..q {
+                for b in 0..q {
+                    assert_eq!(f.mul(a, b), a * b % q, "mul {a}*{b} mod {q}");
+                    let shoup = f.shoup_precompute(b);
+                    assert_eq!(f.mul_shoup(a, b, shoup), a * b % q, "shoup {a}*{b} mod {q}");
+                    assert_eq!(f.mul_add(b, a, a), (a * a + b) % q, "mul_add mod {q}");
+                }
+                assert_eq!(f.reduce(a + q), a, "reduce mod {q}");
+            }
+        }
+    }
+
+    /// Randomized cross-check against `u128` hardware division for large
+    /// primes, including the largest prime below the 2^62 modulus cap.
+    #[test]
+    fn barrett_matches_hardware_division_random_large() {
+        let top = {
+            let mut q = (1u64 << 62) - 1;
+            while !is_prime_u64(q) {
+                q -= 2;
+            }
+            q
+        };
+        let mut rng = SplitMix64::new(99);
+        let mid = {
+            let mut q = (1u64 << 52) + 1;
+            while !is_prime_u64(q) {
+                q += 2;
+            }
+            q
+        };
+        for q in [(1u64 << 61) - 1, 1_000_000_007, mid, top] {
+            let f = PrimeField::new(q).unwrap();
+            let wq = u128::from(q);
+            for _ in 0..2000 {
+                let a = f.sample(&mut rng);
+                let b = f.sample(&mut rng);
+                assert_eq!(f.mul(a, b), (u128::from(a) * u128::from(b) % wq) as u64);
+                let shoup = f.shoup_precompute(b);
+                assert_eq!(f.mul_shoup(a, b, shoup), (u128::from(a) * u128::from(b) % wq) as u64);
+                assert_eq!(
+                    f.mul_add(b, a, a),
+                    ((u128::from(a) * u128::from(a) + u128::from(b)) % wq) as u64
+                );
+                let wide = u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64());
+                assert_eq!(f.reduce_u128(wide), (wide % wq) as u64);
+                assert_eq!(f.reduce(a.wrapping_mul(b)), a.wrapping_mul(b) % q);
+            }
+            // pow against iterated naive multiplication.
+            let base = f.sample(&mut rng);
+            let mut acc = 1u64;
+            for e in 0..40u64 {
+                assert_eq!(f.pow(base, e), acc, "pow e={e} mod {q}");
+                acc = (u128::from(acc) * u128::from(base) % wq) as u64;
+            }
         }
     }
 

@@ -132,6 +132,25 @@ impl Poly {
         Poly::from_reduced(self.coeffs.iter().map(|&a| field.mul(a, c)).collect())
     }
 
+    /// `self mod x^n`: the low `n` coefficients.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Poly {
+        if self.coeffs.len() <= n {
+            return self.clone();
+        }
+        Poly::from_reduced(self.coeffs[..n].to_vec())
+    }
+
+    /// The length-`len` coefficient reversal `rev_len(f)`: coefficient
+    /// `k` of the result is the coefficient of `x^{len-1-k}` in `self`
+    /// (zero beyond the stored degree). For `len = deg + 1` this is the
+    /// classical reversal `x^deg · f(1/x)` used by Newton-iteration
+    /// division.
+    #[must_use]
+    pub fn reversed(&self, len: usize) -> Poly {
+        Poly::from_reduced((0..len).map(|k| self.coeff(len - 1 - k)).collect())
+    }
+
     /// `self * x^k`.
     #[must_use]
     pub fn shift(&self, k: usize) -> Poly {
@@ -277,18 +296,13 @@ fn mul_schoolbook(field: &PrimeField, a: &[u64], b: &[u64]) -> Vec<u64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
     }
-    let q = u128::from(field.modulus());
-    // Accumulate in u128 with periodic reduction: each product is < 2^124
-    // for q < 2^62, so reduce after every addition to stay safe.
     let mut out = vec![0u64; a.len() + b.len() - 1];
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
             continue;
         }
-        let ai = u128::from(ai);
         for (j, &bj) in b.iter().enumerate() {
-            let cur = u128::from(out[i + j]) + ai * u128::from(bj) % q;
-            out[i + j] = if cur >= q { (cur - q) as u64 } else { cur as u64 };
+            out[i + j] = field.mul_add(out[i + j], ai, bj);
         }
     }
     out

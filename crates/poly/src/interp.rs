@@ -23,13 +23,17 @@ pub fn interpolate(field: &PrimeField, points: &[(u64, u64)]) -> Poly {
         return Poly::zero();
     }
     let n = points.len();
-    // Divided-difference coefficients c_i (Newton form).
+    // Divided-difference coefficients c_i (Newton form). The node
+    // differences of each level are inverted together with Montgomery's
+    // trick — one extended Euclid per level instead of one per cell.
     let mut coef: Vec<u64> = points.iter().map(|&(_, y)| field.reduce(y)).collect();
+    let xs: Vec<u64> = points.iter().map(|&(x, _)| field.reduce(x)).collect();
     for level in 1..n {
+        let mut inv_dx: Vec<u64> = (level..n).map(|i| field.sub(xs[i], xs[i - level])).collect();
+        assert!(inv_dx.iter().all(|&dx| dx != 0), "interpolation points must be distinct (mod q)");
+        field.inv_batch(&mut inv_dx);
         for i in (level..n).rev() {
-            let dx = field.sub(field.reduce(points[i].0), field.reduce(points[i - level].0));
-            assert!(dx != 0, "interpolation points must be distinct (mod q)");
-            coef[i] = field.mul(field.sub(coef[i], coef[i - 1]), field.inv(dx));
+            coef[i] = field.mul(field.sub(coef[i], coef[i - 1]), inv_dx[i - level]);
         }
     }
     // Expand Newton form to monomial coefficients by Horner on the nodes:

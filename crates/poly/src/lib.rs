@@ -6,6 +6,12 @@
 //! Newton interpolation, and the `O(R)` consecutive-node Lagrange basis
 //! evaluation of §5.3 that the clique/triangle evaluation algorithms use.
 //!
+//! Past measured crossover sizes, [`eval_many_fast`] and
+//! [`interpolate_fast`] switch to subproduct-tree algorithms
+//! (`O(M(n) log n)`) whose products run through cached [`NttPlan`]s when
+//! the modulus is NTT-friendly; the naive routines are retained as
+//! oracles.
+//!
 //! ## Example
 //!
 //! ```
@@ -24,8 +30,10 @@
 
 mod dense;
 mod interp;
+mod multipoint;
 mod ntt;
 
 pub use dense::Poly;
 pub use interp::{eval_many, interpolate, interpolate_consecutive, lagrange_basis_at};
+pub use multipoint::{cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly};
 pub use ntt::NttPlan;

@@ -1,0 +1,677 @@
+//! Subproduct-tree multipoint evaluation and fast interpolation.
+//!
+//! The remaining pieces of the `M(d) = d log d log log d` fast-arithmetic
+//! toolbox of §2.2 of the paper: [`eval_many_fast`] evaluates a degree-`d`
+//! polynomial at `n` points in `O(M(n) log n)` instead of Horner's
+//! `O(d·n)`, and [`interpolate_fast`] inverts that map in the same bound
+//! instead of Newton's `O(n²)`. Both walk a *subproduct tree* over the
+//! evaluation points; every polynomial product along the way is routed
+//! through [`NttPlan::multiply`] when the modulus is NTT-friendly at the
+//! required transform length, and falls back to the Karatsuba path in
+//! [`Poly::mul`] otherwise. Divisions use Newton iteration on the
+//! reversed divisor (power-series inversion), so a full tree descent
+//! costs `O(M(n) log n)` rather than the `O(n²)` a classical remainder
+//! sequence would pay at the root.
+//!
+//! The naive routines ([`crate::eval_many`], [`crate::interpolate`]) are
+//! retained unchanged as oracles; the `*_fast` entry points dispatch to
+//! them below a crossover size, so callers can use the fast names
+//! unconditionally.
+
+use crate::dense::Poly;
+use crate::interp::{eval_many, interpolate};
+use crate::ntt::NttPlan;
+use camelot_ff::PrimeField;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Evaluation points per subproduct-tree leaf. Below this size quadratic
+/// Horner/synthetic-division work beats transform bookkeeping, so the
+/// tree bottoms out in chunks instead of single points.
+const LEAF_SIZE: usize = 32;
+
+/// Minimum operand length for routing a product through the NTT; shorter
+/// products stay on the schoolbook/Karatsuba path.
+const NTT_MUL_THRESHOLD: usize = 32;
+
+/// Divisor length at which Euclidean division switches from the classical
+/// `O(n·m)` loop to Newton iteration on the reversed divisor.
+const FAST_DIV_THRESHOLD: usize = 32;
+
+/// Minimum point count for subproduct-tree evaluation. Horner costs
+/// `O(d·n)` while the tree costs `~EVAL_DEGREE_FACTOR·n·log²n` field
+/// operations, so the tree also needs the degree gate below; both
+/// constants are fitted on the committed `BENCH_algebra.json` trajectory
+/// (the tree's Newton divisions carry a large constant, so quadratic
+/// Horner stays competitive surprisingly long).
+const EVAL_MIN_POINTS: usize = 1024;
+
+/// Degree gate for tree evaluation: tree only when
+/// `poly_len >= EVAL_DEGREE_FACTOR · log2(n)²` (e.g. degree ≥ n at
+/// n = 2^12, degree ≥ n/2 at 2^13 — below that the trajectory shows the
+/// tree at or under parity with Horner).
+const EVAL_DEGREE_FACTOR: usize = 17;
+
+/// Point count at which tree interpolation overtakes Newton divided
+/// differences with NTT products.
+const INTERP_CROSSOVER_NTT: usize = 2048;
+
+/// Crossover when products can only use Karatsuba (NTT-unfriendly
+/// modulus): the tree's constant factor is much larger, so the quadratic
+/// routines stay competitive far longer.
+const TREE_CROSSOVER_KARATSUBA: usize = 4096;
+
+/// Point count past which [`vanishing_poly`] builds by tree; incremental
+/// multiplication below (the tree also wins earlier here, since no
+/// divisions are involved).
+const VANISH_CROSSOVER: usize = 128;
+
+/// `ceil(log2 n)` for `n >= 1`.
+fn ceil_log2(n: usize) -> u32 {
+    n.next_power_of_two().trailing_zeros()
+}
+
+/// Multiplication strategy for one field: NTT plans for every transform
+/// length the modulus supports (capped at the requested maximum product
+/// length), with [`Poly::mul`] as the fallback.
+#[derive(Clone)]
+struct MulContext {
+    field: PrimeField,
+    /// `plans[k]` runs transforms of length `2^k`; empty when the modulus
+    /// has no two-adic structure.
+    plans: Arc<Vec<Arc<NttPlan>>>,
+    /// Whether the plans cover the maximum product length this context
+    /// was built for (false forces Karatsuba for the large products).
+    covers_max: bool,
+}
+
+/// Plans for transform lengths `2^0 .. 2^k` over one modulus.
+type PlanChain = Arc<Vec<Arc<NttPlan>>>;
+
+/// Bound on the plan cache: one engine run touches a handful of primes,
+/// so this is generous, but it keeps a long-lived process that walks
+/// many prime schedules from accumulating twiddle tables forever.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Process-wide cache of NTT plan chains keyed by modulus, so repeated
+/// tree operations over the same field (one field per engine prime) pay
+/// the primitive-root search and twiddle-table construction once.
+fn plan_chain(field: &PrimeField, log_len: u32) -> PlanChain {
+    static CACHE: OnceLock<Mutex<HashMap<u64, PlanChain>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("NTT plan cache poisoned");
+    if let Some(chain) = map.get(&field.modulus()) {
+        if chain.len() > log_len as usize {
+            return Arc::clone(chain);
+        }
+    }
+    if map.len() >= PLAN_CACHE_CAPACITY {
+        // Wholesale reset beats per-entry LRU bookkeeping here: hitting
+        // the bound at all means the workload churns through moduli, and
+        // rebuilding a chain is cheap relative to using it.
+        map.clear();
+    }
+    let mut chain = Vec::with_capacity(log_len as usize + 1);
+    let mut cur = NttPlan::new(field, log_len);
+    while let Some(plan) = cur {
+        cur = plan.halved();
+        chain.push(Arc::new(plan));
+    }
+    chain.reverse();
+    let chain = Arc::new(chain);
+    map.insert(field.modulus(), Arc::clone(&chain));
+    chain
+}
+
+/// A shared, process-cached NTT plan of length `2^log_len` over `field`,
+/// or `None` when the modulus does not admit one (`2^log_len` must
+/// divide `q - 1`). Repeated callers (one Reed–Solomon code per engine
+/// prime, every subproduct-tree product) reuse the same twiddle tables.
+#[must_use]
+pub fn cached_ntt_plan(field: &PrimeField, log_len: u32) -> Option<Arc<NttPlan>> {
+    if !(field.modulus() - 1).is_multiple_of(1u64 << log_len) {
+        return None;
+    }
+    plan_chain(field, log_len).get(log_len as usize).cloned()
+}
+
+impl MulContext {
+    /// Builds a strategy for products of up to `max_product_len`
+    /// coefficients over `field`.
+    fn new(field: &PrimeField, max_product_len: usize) -> Self {
+        let need = ceil_log2(max_product_len.max(1));
+        let supported = (field.modulus() - 1).trailing_zeros();
+        let k = need.min(supported);
+        // Transforms shorter than the NTT threshold would never be used.
+        let plans = if (1u64 << k) >= NTT_MUL_THRESHOLD as u64 {
+            plan_chain(field, k)
+        } else {
+            Arc::new(Vec::new())
+        };
+        MulContext { field: *field, plans, covers_max: k == need }
+    }
+
+    /// `a * b`, through the NTT when both operands are long enough and a
+    /// plan of the required length exists.
+    fn mul(&self, a: &Poly, b: &Poly) -> Poly {
+        if a.is_zero() || b.is_zero() {
+            return Poly::zero();
+        }
+        let (alen, blen) = (a.coeffs().len(), b.coeffs().len());
+        if alen.min(blen) >= NTT_MUL_THRESHOLD {
+            let k = ceil_log2(alen + blen - 1) as usize;
+            if let Some(plan) = self.plans.get(k) {
+                return plan.multiply(a, b);
+            }
+        }
+        a.mul(&self.field, b)
+    }
+}
+
+/// Power-series inverse of `f` modulo `x^n` by Newton iteration
+/// (`g ← g(2 - fg)`, doubling precision each step).
+///
+/// `f.coeff(0)` must be invertible (nonzero).
+fn inv_series(ctx: &MulContext, f: &Poly, n: usize) -> Poly {
+    let field = &ctx.field;
+    let mut g = Poly::constant(field.inv(f.coeff(0)));
+    let mut k = 1usize;
+    while k < n {
+        k = (2 * k).min(n);
+        let fg = ctx.mul(&f.truncated(k), &g).truncated(k);
+        let correction = Poly::constant(field.reduce(2)).sub(field, &fg);
+        g = ctx.mul(&g, &correction).truncated(k);
+    }
+    g
+}
+
+/// Euclidean division `(quotient, remainder)` dispatching to Newton
+/// iteration past [`FAST_DIV_THRESHOLD`], classical [`Poly::div_rem`]
+/// below it.
+///
+/// # Panics
+///
+/// Panics if `b` is the zero polynomial.
+fn div_rem_ctx(ctx: &MulContext, a: &Poly, b: &Poly) -> (Poly, Poly) {
+    let db = b.degree().expect("polynomial division by zero");
+    let Some(da) = a.degree() else {
+        return (Poly::zero(), Poly::zero());
+    };
+    if da < db {
+        return (Poly::zero(), a.clone());
+    }
+    if b.coeffs().len() < FAST_DIV_THRESHOLD {
+        return a.div_rem(&ctx.field, b);
+    }
+    let n_q = da - db + 1;
+    // rev(a) = rev(b) · rev(q) mod x^{n_q}, so q is the length-n_q
+    // reversal of rev(a) · rev(b)^{-1}.
+    let inv_rb = inv_series(ctx, &b.reversed(db + 1), n_q);
+    let ra = a.reversed(da + 1).truncated(n_q);
+    let q = ctx.mul(&ra, &inv_rb).truncated(n_q).reversed(n_q);
+    let r = a.sub(&ctx.field, &ctx.mul(&q, b));
+    debug_assert!(r.degree().is_none_or(|dr| dr < db), "fast division remainder too large");
+    (q, r)
+}
+
+/// Quotient of `l` by the linear factor `(x - xi)` via synthetic
+/// division, discarding the remainder (exact when `xi` is a root of `l`).
+fn synthetic_div_linear(field: &PrimeField, l: &Poly, xi: u64) -> Poly {
+    let cs = l.coeffs();
+    debug_assert!(cs.len() > 1, "dividend must have positive degree");
+    let d = cs.len() - 1;
+    let mut out = vec![0u64; d];
+    let mut acc = 0u64;
+    for k in (0..d).rev() {
+        acc = field.mul_add(cs[k + 1], acc, xi);
+        out[k] = acc;
+    }
+    Poly::from_reduced(out)
+}
+
+/// A subproduct tree over a list of (reduced, distinct-or-not) points:
+/// level 0 holds the products `Π (x - x_i)` over [`LEAF_SIZE`]-point
+/// chunks, and each higher level pairwise-multiplies the one below (an
+/// odd tail node is carried up unchanged). The root is the vanishing
+/// polynomial of the whole point set.
+struct SubproductTree {
+    points: Vec<u64>,
+    levels: Vec<Vec<Poly>>,
+}
+
+impl SubproductTree {
+    fn build(ctx: &MulContext, points: &[u64]) -> Self {
+        debug_assert!(!points.is_empty(), "subproduct tree needs at least one point");
+        let field = &ctx.field;
+        let leaves: Vec<Poly> = points
+            .chunks(LEAF_SIZE)
+            .map(|chunk| {
+                let mut g = Poly::constant(1);
+                for &x in chunk {
+                    g = g.mul(field, &Poly::from_reduced(vec![field.neg(x), 1]));
+                }
+                g
+            })
+            .collect();
+        let mut levels = vec![leaves];
+        while levels.last().expect("nonempty tree").len() > 1 {
+            let prev = levels.last().expect("nonempty tree");
+            let next = prev
+                .chunks(2)
+                .map(|pair| if let [l, r] = pair { ctx.mul(l, r) } else { pair[0].clone() })
+                .collect();
+            levels.push(next);
+        }
+        SubproductTree { points: points.to_vec(), levels }
+    }
+
+    /// The vanishing polynomial `Π_i (x - x_i)`.
+    fn root(&self) -> &Poly {
+        &self.levels.last().expect("nonempty tree")[0]
+    }
+
+    fn top_level(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The chunk of points owned by leaf `idx`.
+    fn leaf_points(&self, idx: usize) -> &[u64] {
+        let start = idx * LEAF_SIZE;
+        &self.points[start..(start + LEAF_SIZE).min(self.points.len())]
+    }
+
+    /// Number of points below node `(level, idx)`.
+    fn count_points(&self, level: usize, idx: usize) -> usize {
+        let lo = (idx << level) * LEAF_SIZE;
+        let hi = (((idx + 1) << level) * LEAF_SIZE).min(self.points.len());
+        hi - lo
+    }
+
+    /// Pushes `rem(x_i)` for every point below node `(level, idx)`, in
+    /// point order. `rem` must already be reduced modulo the node's
+    /// polynomial.
+    fn eval_down(
+        &self,
+        ctx: &MulContext,
+        rem: &Poly,
+        level: usize,
+        idx: usize,
+        out: &mut Vec<u64>,
+    ) {
+        if level == 0 {
+            for &x in self.leaf_points(idx) {
+                out.push(rem.eval(&ctx.field, x));
+            }
+            return;
+        }
+        let child = level - 1;
+        let (li, ri) = (2 * idx, 2 * idx + 1);
+        if ri >= self.levels[child].len() {
+            self.eval_down(ctx, rem, child, li, out);
+            return;
+        }
+        let (_, rl) = div_rem_ctx(ctx, rem, &self.levels[child][li]);
+        let (_, rr) = div_rem_ctx(ctx, rem, &self.levels[child][ri]);
+        self.eval_down(ctx, &rl, child, li, out);
+        self.eval_down(ctx, &rr, child, ri, out);
+    }
+
+    /// The linear combination `Σ_i c_i · Π_{j≠i} (x - x_j)` over the
+    /// points below node `(level, idx)`, where `c` covers exactly those
+    /// points — the combination step of fast Lagrange interpolation.
+    fn combine_up(&self, ctx: &MulContext, c: &[u64], level: usize, idx: usize) -> Poly {
+        let field = &ctx.field;
+        if level == 0 {
+            let leaf = &self.levels[0][idx];
+            let mut acc = Poly::zero();
+            for (i, &xi) in self.leaf_points(idx).iter().enumerate() {
+                let partial = synthetic_div_linear(field, leaf, xi).scale(field, c[i]);
+                acc = acc.add(field, &partial);
+            }
+            return acc;
+        }
+        let child = level - 1;
+        let (li, ri) = (2 * idx, 2 * idx + 1);
+        if ri >= self.levels[child].len() {
+            return self.combine_up(ctx, c, child, li);
+        }
+        let (cl, cr) = c.split_at(self.count_points(child, li));
+        let left = self.combine_up(ctx, cl, child, li);
+        let right = self.combine_up(ctx, cr, child, ri);
+        ctx.mul(&left, &self.levels[child][ri])
+            .add(field, &ctx.mul(&right, &self.levels[child][li]))
+    }
+}
+
+/// True when the tree machinery should be used for `n` points with the
+/// given context: past the supplied NTT crossover when transforms cover
+/// the products, past the (much larger) Karatsuba crossover otherwise.
+fn tree_pays_off(ctx: &MulContext, n: usize, ntt_crossover: usize) -> bool {
+    if ctx.covers_max {
+        n >= ntt_crossover
+    } else {
+        n >= TREE_CROSSOVER_KARATSUBA
+    }
+}
+
+/// Subproduct-tree evaluation with no crossover dispatch (testable
+/// directly at any size).
+fn eval_many_tree(ctx: &MulContext, poly: &Poly, xs: &[u64]) -> Vec<u64> {
+    let field = &ctx.field;
+    let n = xs.len();
+    let reduced: Vec<u64> = xs.iter().map(|&x| field.reduce(x)).collect();
+    let tree = SubproductTree::build(ctx, &reduced);
+    // Reduce once modulo the vanishing polynomial; a no-op whenever
+    // deg poly < n (always true for Reed–Solomon encoding).
+    let rem = if poly.degree().is_some_and(|d| d >= n) {
+        div_rem_ctx(ctx, poly, tree.root()).1
+    } else {
+        poly.clone()
+    };
+    let mut out = Vec::with_capacity(n);
+    tree.eval_down(ctx, &rem, tree.top_level(), 0, &mut out);
+    out
+}
+
+/// Subproduct-tree interpolation with no crossover dispatch (testable
+/// directly at any size).
+fn interpolate_tree(ctx: &MulContext, points: &[(u64, u64)]) -> Poly {
+    let field = &ctx.field;
+    let n = points.len();
+    let xs: Vec<u64> = points.iter().map(|&(x, _)| field.reduce(x)).collect();
+    let tree = SubproductTree::build(ctx, &xs);
+    // Lagrange weights 1 / M'(x_i): M' has degree n - 1 < n, so it is
+    // already reduced modulo the root and descends directly.
+    let m_prime = tree.root().derivative(field);
+    let mut weights = Vec::with_capacity(n);
+    tree.eval_down(ctx, &m_prime, tree.top_level(), 0, &mut weights);
+    assert!(weights.iter().all(|&w| w != 0), "interpolation points must be distinct (mod q)");
+    field.inv_batch(&mut weights);
+    let c: Vec<u64> =
+        points.iter().zip(&weights).map(|(&(_, y), &w)| field.mul(field.reduce(y), w)).collect();
+    tree.combine_up(ctx, &c, tree.top_level(), 0)
+}
+
+/// Evaluates `poly` at each point in `O(M(n) log n)` via a subproduct
+/// tree, falling back to Horner-per-point ([`eval_many`]) below the
+/// crossover size (where quadratic work wins on constants).
+///
+/// Always returns exactly what [`eval_many`] returns.
+#[must_use]
+pub fn eval_many_fast(field: &PrimeField, poly: &Poly, xs: &[u64]) -> Vec<u64> {
+    let n = xs.len();
+    let lg = ceil_log2(n.max(2)) as usize;
+    if n < EVAL_MIN_POINTS || poly.coeffs().len() < EVAL_DEGREE_FACTOR * lg * lg {
+        return eval_many(field, poly, xs);
+    }
+    let ctx = MulContext::new(field, n.max(poly.coeffs().len()) + 1);
+    if !tree_pays_off(&ctx, n, EVAL_MIN_POINTS) {
+        return eval_many(field, poly, xs);
+    }
+    eval_many_tree(&ctx, poly, xs)
+}
+
+/// Interpolates the unique polynomial of degree `< points.len()` through
+/// the given `(x, y)` pairs in `O(M(n) log n)` via a subproduct tree
+/// (Lagrange weights from the derivative of the vanishing polynomial),
+/// falling back to Newton interpolation ([`interpolate`]) below the
+/// crossover size.
+///
+/// Always returns exactly what [`interpolate`] returns.
+///
+/// # Panics
+///
+/// Panics if two points share an abscissa (mod `q`).
+#[must_use]
+pub fn interpolate_fast(field: &PrimeField, points: &[(u64, u64)]) -> Poly {
+    let n = points.len();
+    if n < INTERP_CROSSOVER_NTT {
+        return interpolate(field, points);
+    }
+    let ctx = MulContext::new(field, n + 1);
+    if !tree_pays_off(&ctx, n, INTERP_CROSSOVER_NTT) {
+        return interpolate(field, points);
+    }
+    interpolate_tree(&ctx, points)
+}
+
+/// `Π_i (x - x_i)`, by subproduct tree past the crossover size and by
+/// incremental multiplication below it.
+#[must_use]
+pub fn vanishing_poly(field: &PrimeField, points: &[u64]) -> Poly {
+    let reduced: Vec<u64> = points.iter().map(|&x| field.reduce(x)).collect();
+    if reduced.len() >= VANISH_CROSSOVER {
+        let ctx = MulContext::new(field, reduced.len() + 1);
+        return SubproductTree::build(&ctx, &reduced).root().clone();
+    }
+    let mut g = Poly::constant(1);
+    for &x in &reduced {
+        g = g.mul(field, &Poly::from_reduced(vec![field.neg(x), 1]));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{ntt_prime, RngLike, SplitMix64};
+
+    fn ntt_field() -> PrimeField {
+        // 2^14-smooth prime: full NTT coverage for every size used here.
+        let (q, _) = ntt_prime(1 << 20, 14);
+        PrimeField::new(q).unwrap()
+    }
+
+    fn plain_field() -> PrimeField {
+        // 1e9+7 has two-adicity 1: every tree product falls back to
+        // Karatsuba.
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    fn random_poly(field: &PrimeField, deg: usize, rng: &mut SplitMix64) -> Poly {
+        Poly::from_reduced(
+            (0..=deg).map(|i| if i == deg { 1 } else { field.sample(rng) }).collect(),
+        )
+    }
+
+    fn distinct_points(field: &PrimeField, n: usize, rng: &mut SplitMix64) -> Vec<u64> {
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < n {
+            set.insert(field.sample(rng));
+        }
+        let mut v: Vec<u64> = set.into_iter().collect();
+        // Shuffle so point order is unrelated to value order.
+        for i in (1..v.len()).rev() {
+            v.swap(i, (rng.next_u64() as usize) % (i + 1));
+        }
+        v
+    }
+
+    #[test]
+    fn inv_series_is_inverse() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(21);
+        let ctx = MulContext::new(&field, 1 << 10);
+        for n in [1usize, 2, 7, 64, 200] {
+            let mut f = random_poly(&field, 150, &mut rng);
+            if f.coeff(0) == 0 {
+                f = f.add(&field, &Poly::constant(1));
+            }
+            let g = inv_series(&ctx, &f, n);
+            let prod = ctx.mul(&f, &g).truncated(n);
+            assert_eq!(prod, Poly::constant(1), "f * f^-1 != 1 mod x^{n}");
+        }
+    }
+
+    #[test]
+    fn fast_division_matches_classical() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(22);
+            let ctx = MulContext::new(&field, 1 << 10);
+            for (da, db) in [(300usize, 40usize), (200, 200), (500, 33), (40, 100)] {
+                let a = random_poly(&field, da, &mut rng);
+                let b = random_poly(&field, db, &mut rng);
+                let (qf, rf) = div_rem_ctx(&ctx, &a, &b);
+                let (qc, rc) = a.div_rem(&field, &b);
+                assert_eq!(qf, qc, "quotient for degrees {da}/{db}");
+                assert_eq!(rf, rc, "remainder for degrees {da}/{db}");
+            }
+        }
+    }
+
+    /// The tree internals (no crossover dispatch) must match the Horner
+    /// oracle at every size and shape, for NTT-friendly and unfriendly
+    /// primes alike.
+    #[test]
+    fn eval_many_tree_matches_naive() {
+        for (field, sizes) in [
+            (ntt_field(), vec![(5usize, 100usize), (100, 70), (200, 300), (511, 600)]),
+            (plain_field(), vec![(100, 80), (600, 600)]),
+        ] {
+            let mut rng = SplitMix64::new(23);
+            for (deg, npts) in sizes {
+                let poly = random_poly(&field, deg, &mut rng);
+                let xs = distinct_points(&field, npts, &mut rng);
+                let ctx = MulContext::new(&field, npts.max(deg + 1) + 1);
+                assert_eq!(
+                    eval_many_tree(&ctx, &poly, &xs),
+                    eval_many(&field, &poly, &xs),
+                    "deg {deg}, {npts} points, q = {}",
+                    field.modulus()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_many_tree_consecutive_points_and_high_degree() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(24);
+        // Consecutive points (the Reed–Solomon schedule) and a dividend
+        // whose degree exceeds the point count (forces the root
+        // reduction).
+        let xs: Vec<u64> = (0..257u64).collect();
+        for deg in [80usize, 256, 700] {
+            let poly = random_poly(&field, deg, &mut rng);
+            let ctx = MulContext::new(&field, 257.max(deg + 1) + 1);
+            assert_eq!(
+                eval_many_tree(&ctx, &poly, &xs),
+                eval_many(&field, &poly, &xs),
+                "deg {deg}"
+            );
+        }
+    }
+
+    /// The public entry point must agree with the oracle on both sides of
+    /// the crossover (naive below, tree above).
+    #[test]
+    fn eval_many_fast_matches_naive_across_crossover() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(28);
+        for (deg, npts) in [(300usize, 400usize), (2100, 2150)] {
+            let poly = random_poly(&field, deg, &mut rng);
+            let xs: Vec<u64> = (0..npts as u64).collect();
+            assert_eq!(
+                eval_many_fast(&field, &poly, &xs),
+                eval_many(&field, &poly, &xs),
+                "deg {deg}, {npts} points"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolate_tree_matches_naive() {
+        for (field, ns) in [(ntt_field(), vec![70usize, 129, 300]), (plain_field(), vec![600])] {
+            let mut rng = SplitMix64::new(25);
+            for n in ns {
+                let xs = distinct_points(&field, n, &mut rng);
+                let pts: Vec<(u64, u64)> =
+                    xs.iter().map(|&x| (x, field.sample(&mut rng))).collect();
+                let ctx = MulContext::new(&field, n + 1);
+                assert_eq!(
+                    interpolate_tree(&ctx, &pts),
+                    interpolate(&field, &pts),
+                    "{n} points, q = {}",
+                    field.modulus()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolate_fast_matches_naive_across_crossover() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(29);
+        for n in [200usize, INTERP_CROSSOVER_NTT + 30] {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            let pts: Vec<(u64, u64)> = xs.iter().map(|&x| (x, field.sample(&mut rng))).collect();
+            assert_eq!(interpolate_fast(&field, &pts), interpolate(&field, &pts), "{n} points");
+        }
+    }
+
+    #[test]
+    fn interpolate_tree_roundtrips_evaluation() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(26);
+        for n in [64usize, 200] {
+            let poly = random_poly(&field, n - 1, &mut rng);
+            let xs = distinct_points(&field, n, &mut rng);
+            let ctx = MulContext::new(&field, n + 1);
+            let ys = eval_many_tree(&ctx, &poly, &xs);
+            let pts: Vec<(u64, u64)> = xs.iter().copied().zip(ys).collect();
+            assert_eq!(interpolate_tree(&ctx, &pts), poly, "{n} points");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolate_tree_rejects_repeated_nodes() {
+        let field = ntt_field();
+        let mut pts: Vec<(u64, u64)> = (0..100u64).map(|x| (x, x + 1)).collect();
+        pts[77] = (5, 99); // duplicate abscissa 5
+        let ctx = MulContext::new(&field, pts.len() + 1);
+        let _ = interpolate_tree(&ctx, &pts);
+    }
+
+    #[test]
+    fn cached_plans_are_shared_and_correct() {
+        let field = ntt_field();
+        let a = cached_ntt_plan(&field, 9).expect("field supports 2^9");
+        let b = cached_ntt_plan(&field, 9).expect("field supports 2^9");
+        assert!(Arc::ptr_eq(&a, &b), "same plan instance must be reused");
+        assert_eq!(a.len(), 512);
+        // Evaluation semantics: forward output j = poly(root^j).
+        let poly = Poly::from_coeffs(&field, [3, 1, 4, 1, 5]);
+        let mut vals = poly.coeffs().to_vec();
+        vals.resize(a.len(), 0);
+        a.forward(&mut vals);
+        let mut x = 1u64;
+        for (j, &v) in vals.iter().enumerate() {
+            assert_eq!(v, poly.eval(&field, x), "index {j}");
+            x = field.mul(x, a.root());
+        }
+        // Unfriendly modulus refuses.
+        assert!(cached_ntt_plan(&plain_field(), 2).is_none());
+    }
+
+    #[test]
+    fn vanishing_poly_matches_incremental() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(27);
+            for n in [1usize, 40, 600] {
+                let xs = distinct_points(&field, n, &mut rng);
+                let mut expect = Poly::constant(1);
+                for &x in &xs {
+                    expect = expect.mul(&field, &Poly::from_reduced(vec![field.neg(x), 1]));
+                }
+                assert_eq!(vanishing_poly(&field, &xs), expect, "{n} points");
+            }
+        }
+    }
+
+    #[test]
+    fn vanishing_poly_of_empty_set_is_one() {
+        let field = ntt_field();
+        assert_eq!(vanishing_poly(&field, &[]), Poly::constant(1));
+    }
+}

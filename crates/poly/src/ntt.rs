@@ -7,9 +7,35 @@
 //! NTT-friendly primes, so this is an opt-in fast path: build an
 //! [`NttPlan`] when the modulus admits one (e.g. from
 //! [`camelot_ff::ntt_prime`]) and use [`NttPlan::multiply`].
+//!
+//! A plan precomputes the full per-round twiddle tables (with their Shoup
+//! companions) at construction, so the butterfly loops run with two word
+//! multiplications per twiddle application and no chained root powering.
 
 use crate::dense::Poly;
 use camelot_ff::{primitive_root, PrimeField};
+
+/// One butterfly round's twiddles `w^0, …, w^{span-1}` with their Shoup
+/// companions for [`PrimeField::mul_shoup`].
+#[derive(Clone, Debug)]
+struct TwiddleTable {
+    w: Vec<u64>,
+    shoup: Vec<u64>,
+}
+
+impl TwiddleTable {
+    /// Powers `w_span^0 .. w_span^{span-1}` plus Shoup companions.
+    fn new(field: &PrimeField, w_span: u64, span: usize) -> Self {
+        let mut w = Vec::with_capacity(span);
+        let mut acc = 1u64;
+        for _ in 0..span {
+            w.push(acc);
+            acc = field.mul(acc, w_span);
+        }
+        let shoup = w.iter().map(|&c| field.shoup_precompute(c)).collect();
+        TwiddleTable { w, shoup }
+    }
+}
 
 /// A radix-2 NTT execution plan for transforms of length `2^k` over a
 /// fixed prime field.
@@ -19,10 +45,12 @@ pub struct NttPlan {
     log_len: u32,
     /// Primitive `2^k`-th root of unity.
     root: u64,
-    /// Its inverse.
-    root_inv: u64,
-    /// `(2^k)^{-1} mod q`.
+    /// `(2^k)^{-1} mod q` with its Shoup companion.
     len_inv: u64,
+    len_inv_shoup: u64,
+    /// Per-round twiddle tables, round `r` having span `2^r`.
+    fwd: Vec<TwiddleTable>,
+    inv: Vec<TwiddleTable>,
 }
 
 impl NttPlan {
@@ -37,19 +65,67 @@ impl NttPlan {
         }
         let g = primitive_root(q);
         let root = field.pow(g, (q - 1) >> log_len);
-        Some(NttPlan {
+        Some(Self::from_root(field, log_len, root))
+    }
+
+    /// Builds a plan from a known primitive `2^log_len`-th root of unity,
+    /// skipping the primitive-root search. Used to derive the plans for
+    /// every smaller transform length from one top-level plan (see
+    /// [`NttPlan::halved`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` does not have multiplicative order exactly
+    /// `2^log_len` (a wrong order would silently produce incorrect
+    /// transforms; the two `pow` checks are negligible next to the
+    /// twiddle-table construction).
+    #[must_use]
+    pub fn from_root(field: &PrimeField, log_len: u32, root: u64) -> Self {
+        let len = 1u64 << log_len;
+        assert_eq!(field.pow(root, len), 1, "root order mismatch");
+        assert!(log_len == 0 || field.pow(root, len / 2) != 1, "root order mismatch");
+        let root_inv = if log_len == 0 { 1 } else { field.inv(root) };
+        let len_inv = field.inv(field.reduce(len));
+        let build = |base: u64| {
+            (0..log_len)
+                .map(|r| {
+                    let span = 1usize << r;
+                    let w_span = field.pow(base, len >> (r + 1));
+                    TwiddleTable::new(field, w_span, span)
+                })
+                .collect()
+        };
+        NttPlan {
             field: *field,
             log_len,
             root,
-            root_inv: field.inv(root),
-            len_inv: field.inv(field.reduce(len)),
-        })
+            len_inv,
+            len_inv_shoup: field.shoup_precompute(len_inv),
+            fwd: build(root),
+            inv: build(root_inv),
+        }
+    }
+
+    /// The plan for transforms of half this length (squares the root), or
+    /// `None` for a length-1 plan.
+    #[must_use]
+    pub fn halved(&self) -> Option<NttPlan> {
+        let log = self.log_len.checked_sub(1)?;
+        Some(Self::from_root(&self.field, log, self.field.mul(self.root, self.root)))
     }
 
     /// Transform length `2^log_len`.
     #[must_use]
     pub fn len(&self) -> usize {
         1 << self.log_len
+    }
+
+    /// The primitive `2^log_len`-th root of unity the plan transforms
+    /// with: `forward` output index `j` is the input polynomial evaluated
+    /// at `root^j`.
+    #[must_use]
+    pub fn root(&self) -> u64 {
+        self.root
     }
 
     /// Always false (a plan has positive length); provided alongside
@@ -65,7 +141,7 @@ impl NttPlan {
     ///
     /// Panics unless `values.len() == self.len()`.
     pub fn forward(&self, values: &mut [u64]) {
-        self.transform(values, self.root);
+        self.transform(values, &self.fwd);
     }
 
     /// In-place inverse transform (includes the `1/n` scaling).
@@ -74,41 +150,38 @@ impl NttPlan {
     ///
     /// Panics unless `values.len() == self.len()`.
     pub fn inverse(&self, values: &mut [u64]) {
-        self.transform(values, self.root_inv);
+        self.transform(values, &self.inv);
         for v in values.iter_mut() {
-            *v = self.field.mul(*v, self.len_inv);
+            *v = self.field.mul_shoup(*v, self.len_inv, self.len_inv_shoup);
         }
     }
 
-    /// Iterative Cooley–Tukey with bit-reversal permutation.
-    fn transform(&self, values: &mut [u64], base_root: u64) {
+    /// Iterative Cooley–Tukey with bit-reversal permutation, reading each
+    /// round's twiddles from the precomputed tables.
+    fn transform(&self, values: &mut [u64], tables: &[TwiddleTable]) {
         let n = self.len();
         assert_eq!(values.len(), n, "transform length mismatch");
         let f = &self.field;
         // Bit reversal.
         let shift = u32::BITS - self.log_len;
-        for i in 0..n {
-            let j = ((i as u32).reverse_bits() >> shift) as usize;
-            if i < j {
-                values.swap(i, j);
+        if self.log_len > 0 {
+            for i in 0..n {
+                let j = ((i as u32).reverse_bits() >> shift) as usize;
+                if i < j {
+                    values.swap(i, j);
+                }
             }
         }
         // Butterflies.
         let mut span = 1usize;
-        let mut round_root = vec![0u64; self.log_len as usize];
-        // round_root[r] is the 2^{r+1}-th root: base_root^(n / 2^{r+1}).
-        for (r, slot) in round_root.iter_mut().enumerate() {
-            *slot = f.pow(base_root, (n >> (r + 1)) as u64);
-        }
-        for &w_span in &round_root {
+        for table in tables {
             for block in (0..n).step_by(2 * span) {
-                let mut w = 1u64;
                 for i in block..block + span {
+                    let t = i - block;
                     let a = values[i];
-                    let b = f.mul(values[i + span], w);
+                    let b = f.mul_shoup(values[i + span], table.w[t], table.shoup[t]);
                     values[i] = f.add(a, b);
                     values[i + span] = f.sub(a, b);
-                    w = f.mul(w, w_span);
                 }
             }
             span *= 2;
@@ -217,5 +290,26 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             assert_eq!(v, field.pow(w, i as u64), "index {i}");
         }
+    }
+
+    #[test]
+    fn halved_plans_agree_with_fresh_plans() {
+        let (field, plan) = plan(9);
+        let mut rng = SplitMix64::new(7);
+        let mut current = plan;
+        for k in (0..9).rev() {
+            current = current.halved().expect("can halve down to length 1");
+            assert_eq!(current.len(), 1 << k);
+            let fresh = NttPlan::new(&field, k).expect("field supports all smaller lengths");
+            let original: Vec<u64> = (0..1 << k).map(|_| field.sample(&mut rng)).collect();
+            let mut a = original.clone();
+            let mut b = original.clone();
+            current.forward(&mut a);
+            fresh.forward(&mut b);
+            assert_eq!(a, b, "length 2^{k}");
+            current.inverse(&mut a);
+            assert_eq!(a, original);
+        }
+        assert!(current.halved().is_none());
     }
 }

@@ -9,7 +9,9 @@
 //! is what gives the framework its byzantine robustness.
 //!
 //! * [`RsCode::encode`] — message polynomial → codeword (what honest nodes
-//!   jointly compute, each contributing a slice);
+//!   jointly compute, each contributing a slice); one forward NTT for a
+//!   [`RsCode::roots_of_unity`] code, subproduct-tree multipoint
+//!   evaluation past a crossover length otherwise;
 //! * [`RsCode::decode`] — received word (with erasures for crashed nodes
 //!   and errors for corrupted ones) → proof polynomial + error locations,
 //!   correct whenever `#errors <= (e' - d - 1) / 2` over the `e'` symbols
@@ -38,7 +40,7 @@
 #![warn(missing_docs)]
 
 use camelot_ff::PrimeField;
-use camelot_poly::{interpolate, Poly};
+use camelot_poly::{cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, Poly};
 
 /// A nonsystematic Reed–Solomon code: `e` distinct evaluation points in
 /// `Z_q`.
@@ -47,6 +49,10 @@ pub struct RsCode {
     points: Vec<u64>,
     /// `G_0(x) = Π_i (x - x_i)`, precomputed for decoding.
     g0: Poly,
+    /// Set by [`RsCode::roots_of_unity`]: the points are the first `e`
+    /// powers of a primitive `2^k`-th root of unity, stored as
+    /// `(k, root)`, making encoding a single forward NTT.
+    ntt: Option<(u32, u64)>,
 }
 
 /// Successful decode: the recovered message polynomial and the identified
@@ -139,7 +145,45 @@ impl RsCode {
             "evaluation points must be distinct"
         );
         let g0 = vanishing_poly(field, &points);
-        RsCode { points, g0 }
+        RsCode { points, g0, ntt: None }
+    }
+
+    /// Code over the first `e` powers `ω^0, …, ω^{e-1}` of a primitive
+    /// `2^k`-th root of unity `ω`, with `2^k` the smallest power of two
+    /// `>= e` — the accelerated point schedule of the engine's
+    /// NTT-friendly prime mode. Encoding is a single forward transform
+    /// (`O(e log e)`), and when `e` fills the transform exactly, clean
+    /// decoding interpolates with a single inverse transform.
+    ///
+    /// Returns `None` when the modulus has no root of the required order
+    /// (`2^k` must divide `q - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e == 0`.
+    #[must_use]
+    pub fn roots_of_unity(field: &PrimeField, e: usize) -> Option<Self> {
+        assert!(e > 0, "code length must be positive");
+        let k = e.next_power_of_two().trailing_zeros();
+        let plan = cached_ntt_plan(field, k)?;
+        let w = plan.root();
+        let mut points = Vec::with_capacity(e);
+        let mut x = 1u64;
+        for _ in 0..e {
+            points.push(x);
+            x = field.mul(x, w);
+        }
+        // The ω^i are distinct (ω has order 2^k >= e), and the vanishing
+        // polynomial of the full orbit is x^{2^k} - 1.
+        let g0 = if e == plan.len() {
+            let mut coeffs = vec![0u64; e + 1];
+            coeffs[0] = field.neg(1);
+            coeffs[e] = 1;
+            Poly::from_reduced(coeffs)
+        } else {
+            vanishing_poly(field, &points)
+        };
+        Some(RsCode { points, g0, ntt: Some((k, w)) })
     }
 
     /// Code length `e`.
@@ -172,6 +216,13 @@ impl RsCode {
     /// Encodes a message polynomial into the codeword
     /// `(P(x_1), ..., P(x_e))`.
     ///
+    /// For a [`RsCode::roots_of_unity`] code this is one forward NTT of
+    /// the zero-padded coefficients (`O(e log e)`). Otherwise it routes
+    /// through subproduct-tree multipoint evaluation past a crossover
+    /// length and Horner per point below it — see
+    /// [`camelot_poly::eval_many_fast`]. The output is bit-identical
+    /// across all paths.
+    ///
     /// # Panics
     ///
     /// Panics if `deg P >= e` (such a message is not uniquely decodable).
@@ -181,7 +232,16 @@ impl RsCode {
             message.degree().is_none_or(|d| d < self.points.len()),
             "message degree must be below the code length"
         );
-        self.points.iter().map(|&x| message.eval(field, x)).collect()
+        if let Some((k, _)) = self.ntt {
+            if let Some(plan) = cached_ntt_plan(field, k) {
+                let mut values = message.coeffs().to_vec();
+                values.resize(plan.len(), 0);
+                plan.forward(&mut values);
+                values.truncate(self.points.len());
+                return values;
+            }
+        }
+        eval_many_fast(field, message, &self.points)
     }
 
     /// Decodes a received word. `None` entries are erasures (symbols never
@@ -229,9 +289,22 @@ impl RsCode {
         // when nothing was erased, otherwise rebuild on the subset.
         let g0 =
             if erasure_positions.is_empty() { self.g0.clone() } else { vanishing_poly(field, &xs) };
-        // G1 interpolates the received values.
-        let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
-        let g1 = interpolate(field, &pts);
+        // G1 interpolates the received values: one inverse NTT when the
+        // code fills a transform and nothing was erased; otherwise the
+        // general interpolation (tree-based past the crossover, Newton
+        // below it).
+        let ntt_plan = match self.ntt {
+            Some((k, _)) if e_prime == 1usize << k => cached_ntt_plan(field, k),
+            _ => None,
+        };
+        let g1 = if let Some(plan) = ntt_plan {
+            let mut values = rs.clone();
+            plan.inverse(&mut values);
+            Poly::from_reduced(values)
+        } else {
+            let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
+            interpolate_fast(field, &pts)
+        };
         if g1.is_zero() {
             // All received symbols are zero: the unique closest codeword is
             // the zero polynomial (the Euclid below would divide by v = 0).
@@ -251,27 +324,20 @@ impl RsCode {
         if !r.is_zero() || p.degree().is_some_and(|d| d > degree_bound) {
             return Err(DecodeError::BeyondRadius);
         }
-        // Identify error locations by re-encoding.
+        // Identify error locations by re-encoding the decoded message
+        // (one NTT for a roots-of-unity code, multipoint evaluation
+        // otherwise).
+        let reencoded = self.encode(field, &p);
         let mut error_positions = Vec::new();
         for (i, sym) in received.iter().enumerate() {
             if let Some(v) = sym {
-                if p.eval(field, self.points[i]) != field.reduce(*v) {
+                if reencoded[i] != field.reduce(*v) {
                     error_positions.push(i);
                 }
             }
         }
         Ok(Decoded { poly: p, error_positions, erasure_positions })
     }
-}
-
-/// `Π_i (x - x_i)` by incremental multiplication.
-fn vanishing_poly(field: &PrimeField, points: &[u64]) -> Poly {
-    let mut g = Poly::constant(1);
-    for &x in points {
-        let factor = Poly::from_reduced(vec![field.neg(field.reduce(x)), 1]);
-        g = g.mul(field, &factor);
-    }
-    g
 }
 
 #[cfg(test)]
@@ -427,6 +493,112 @@ mod tests {
         let word: Vec<Option<u64>> = vec![Some(0); 9];
         let out = code.decode(&field, &word, 3).unwrap();
         assert!(out.poly.is_zero());
+    }
+
+    /// `encode` must equal the Horner-per-point oracle on both sides of
+    /// the multipoint-evaluation crossover, for an NTT-friendly prime and
+    /// for one with no two-adic structure.
+    #[test]
+    fn encode_matches_horner_oracle_across_crossover() {
+        let (ntt_q, _) = camelot_ff::ntt_prime(1 << 20, 12);
+        for q in [ntt_q, 1_000_000_007] {
+            let field = PrimeField::new(q).unwrap();
+            let mut rng = SplitMix64::new(8);
+            for e in [8usize, 63, 64, 100, 600] {
+                let code = RsCode::consecutive(&field, e);
+                let msg = random_message(&field, e - 1, &mut rng);
+                let horner: Vec<u64> = code.points().iter().map(|&x| msg.eval(&field, x)).collect();
+                assert_eq!(code.encode(&field, &msg), horner, "e = {e}, q = {q}");
+            }
+        }
+    }
+
+    /// Large-code decode (fast interpolation + fast re-encoding check)
+    /// still corrects errors and erasures and identifies them exactly.
+    #[test]
+    fn large_code_decode_corrects_and_identifies() {
+        let (q, _) = camelot_ff::ntt_prime(1 << 20, 12);
+        let field = PrimeField::new(q).unwrap();
+        let mut rng = SplitMix64::new(9);
+        let d = 127;
+        let e = 300;
+        let code = RsCode::consecutive(&field, e);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        let mut expected_errors = std::collections::BTreeSet::new();
+        let mut expected_erasures = std::collections::BTreeSet::new();
+        // 40 erasures and 50 corruptions: e' = 260, radius (260-128)/2 = 66.
+        while expected_erasures.len() < 40 {
+            expected_erasures.insert((rng.next_u64() as usize) % e);
+        }
+        while expected_errors.len() < 50 {
+            let pos = (rng.next_u64() as usize) % e;
+            if !expected_erasures.contains(&pos) {
+                expected_errors.insert(pos);
+            }
+        }
+        for &pos in &expected_erasures {
+            word[pos] = None;
+        }
+        for &pos in &expected_errors {
+            word[pos] = Some(field.add(clean[pos], 1 + rng.next_u64() % 1000));
+        }
+        let out = code.decode(&field, &word, d).unwrap();
+        assert_eq!(out.poly, msg);
+        assert_eq!(out.error_positions, expected_errors.into_iter().collect::<Vec<_>>());
+        assert_eq!(out.erasure_positions, expected_erasures.into_iter().collect::<Vec<_>>());
+    }
+
+    /// A roots-of-unity code's NTT encode must agree with the
+    /// Horner-per-point oracle, for full and partial transform lengths.
+    #[test]
+    fn roots_of_unity_encode_matches_horner_oracle() {
+        let (q, _) = camelot_ff::ntt_prime(1 << 20, 12);
+        let field = PrimeField::new(q).unwrap();
+        let mut rng = SplitMix64::new(10);
+        for e in [16usize, 100, 256, 1000, 1024] {
+            let code = RsCode::roots_of_unity(&field, e).expect("NTT-friendly prime");
+            assert_eq!(code.len(), e);
+            let msg = random_message(&field, e - 1, &mut rng);
+            let horner: Vec<u64> = code.points().iter().map(|&x| msg.eval(&field, x)).collect();
+            assert_eq!(code.encode(&field, &msg), horner, "e = {e}");
+        }
+        // An NTT-unfriendly modulus has no such code.
+        let plain = PrimeField::new(1_000_000_007).unwrap();
+        assert!(RsCode::roots_of_unity(&plain, 16).is_none());
+    }
+
+    /// Clean full-transform decode (single inverse NTT) and faulted
+    /// decode (general path) both recover the message and the fault
+    /// pattern on a roots-of-unity code.
+    #[test]
+    fn roots_of_unity_decode_roundtrips_and_identifies_faults() {
+        let (q, _) = camelot_ff::ntt_prime(1 << 20, 12);
+        let field = PrimeField::new(q).unwrap();
+        let mut rng = SplitMix64::new(11);
+        for e in [256usize, 300] {
+            let d = 100;
+            let code = RsCode::roots_of_unity(&field, e).expect("NTT-friendly prime");
+            let msg = random_message(&field, d, &mut rng);
+            let clean = code.encode(&field, &msg);
+            // Clean word: exercises the inverse-NTT interpolation when
+            // e == 256 fills the transform exactly.
+            let word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+            let out = code.decode(&field, &word, d).unwrap();
+            assert_eq!(out.poly, msg, "clean decode, e = {e}");
+            assert!(out.error_positions.is_empty());
+            // Errors + erasures: the general subset path.
+            let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+            word[3] = None;
+            word[77] = None;
+            word[10] = Some(field.add(clean[10], 5));
+            word[200] = Some(field.add(clean[200], 9));
+            let out = code.decode(&field, &word, d).unwrap();
+            assert_eq!(out.poly, msg, "faulted decode, e = {e}");
+            assert_eq!(out.error_positions, vec![10, 200]);
+            assert_eq!(out.erasure_positions, vec![3, 77]);
+        }
     }
 
     #[test]
