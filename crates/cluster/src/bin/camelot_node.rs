@@ -1,0 +1,52 @@
+//! `camelot-node` — an out-of-process compute node.
+//!
+//! One worker serves one round task: it connects to the coordinator,
+//! reads a `camelot-task v1` message, reconstructs the round from it
+//! alone (field, fault behaviour, evaluation programs, assigned
+//! points — the paper's "common input"), evaluates its slice, applies
+//! its fault sender-side, and replies with its `camelot-reply v1`
+//! frames. Spawned by `SocketTransport` in process mode:
+//!
+//! ```text
+//! camelot-node --connect 127.0.0.1:PORT
+//! ```
+
+use camelot_cluster::serve_worker;
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = args.next(),
+            "--help" | "-h" => {
+                println!("usage: camelot-node --connect HOST:PORT");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("camelot-node: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("camelot-node: missing --connect HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    let stream = match TcpStream::connect(&addr) {
+        Ok(stream) => stream,
+        Err(err) => {
+            eprintln!("camelot-node: connecting to {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve_worker(stream) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("camelot-node: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

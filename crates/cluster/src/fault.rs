@@ -1,0 +1,223 @@
+//! Fault behaviours and their sender-side symbol transforms.
+//!
+//! The paper's byzantine repertoire (§1.1, footnote 7): nodes crash,
+//! corrupt pseudo-randomly, lie adversarially, or *equivocate* — send a
+//! different value to every receiver. Since PR 5 the faults are applied
+//! on the **sender side**: a node computes its truthful symbols and then
+//! transforms them into the frames it actually puts on the transport, so
+//! equivocation is a genuine per-receiver message rather than a post-hoc
+//! patch at the bus. Every backend (and the `camelot-node` worker
+//! process) derives the transformed values from the same pure functions
+//! below, which is what makes the backends bit-identical.
+
+use camelot_ff::{PrimeField, RngLike, SplitMix64};
+
+/// Mixing constant for the receiver index in the equivocation stream
+/// (the SplitMix64 golden-ratio increment).
+const RECEIVER_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixing constant separating the fault streams of the polynomials in a
+/// multi-polynomial (batched) round. Lane 0 reduces to the historical
+/// single-polynomial stream.
+const POLY_MIX: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// How a node (mis)behaves during proof preparation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Computes and broadcasts its symbols faithfully.
+    Honest,
+    /// Produces nothing (erasures at every receiver).
+    Crash,
+    /// Adds a seeded pseudo-random nonzero offset to every symbol it
+    /// broadcasts (the same wrong value to every receiver).
+    Corrupt {
+        /// Seed for the corruption stream.
+        seed: u64,
+    },
+    /// Adds a fixed nonzero offset to every symbol (a colluding,
+    /// worst-case liar — offsets are reduced nonzero mod `q`).
+    Adversarial {
+        /// The offset added to each symbol.
+        offset: u64,
+    },
+    /// Sends a *different* corrupted value to every receiver
+    /// (equivocation; receivers see inconsistent broadcast words but each
+    /// still decodes, cf. footnote 7 of the paper).
+    Equivocate {
+        /// Seed for the per-receiver corruption stream.
+        seed: u64,
+    },
+}
+
+impl FaultKind {
+    /// True for any non-honest behaviour.
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, FaultKind::Honest)
+    }
+}
+
+/// Assignment of behaviours to the `K` nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// Everyone behaves.
+    #[must_use]
+    pub fn all_honest(nodes: usize) -> Self {
+        FaultPlan { kinds: vec![FaultKind::Honest; nodes] }
+    }
+
+    /// Marks specific nodes faulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    #[must_use]
+    pub fn with_faults(nodes: usize, faults: &[(usize, FaultKind)]) -> Self {
+        let mut plan = Self::all_honest(nodes);
+        for &(node, kind) in faults {
+            assert!(node < nodes, "fault assigned to nonexistent node {node}");
+            plan.kinds[node] = kind;
+        }
+        plan
+    }
+
+    /// Seeds `count` pseudo-randomly chosen distinct nodes with
+    /// [`FaultKind::Corrupt`] behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > nodes`.
+    #[must_use]
+    pub fn random_corrupt(nodes: usize, count: usize, seed: u64) -> Self {
+        assert!(count <= nodes, "cannot corrupt more nodes than exist");
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::all_honest(nodes);
+        let mut placed = 0;
+        while placed < count {
+            let node = (rng.next_u64() % nodes as u64) as usize;
+            if !plan.kinds[node].is_faulty() {
+                plan.kinds[node] = FaultKind::Corrupt { seed: rng.next_u64() };
+                placed += 1;
+            }
+        }
+        plan
+    }
+
+    /// Number of nodes in the plan.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Behaviour of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn kind(&self, node: usize) -> FaultKind {
+        self.kinds[node]
+    }
+
+    /// Indices of all non-honest nodes.
+    #[must_use]
+    pub fn faulty_nodes(&self) -> Vec<usize> {
+        self.kinds.iter().enumerate().filter_map(|(i, k)| k.is_faulty().then_some(i)).collect()
+    }
+}
+
+/// The fault-stream lane of symbol `(idx, poly)`: global point index
+/// `idx` of polynomial `poly` in a multi-polynomial round. Polynomial 0
+/// uses the raw index, so single-polynomial rounds reproduce the
+/// historical streams bit for bit.
+#[must_use]
+pub fn fault_lane(idx: usize, poly: usize) -> u64 {
+    (idx as u64) ^ (poly as u64).wrapping_mul(POLY_MIX)
+}
+
+/// The uniformly corrupted symbol a [`FaultKind::Corrupt`] sender
+/// broadcasts for lane `lane` with truthful value `truth`: truth plus a
+/// seeded nonzero offset.
+#[must_use]
+pub fn corrupt_symbol(field: &PrimeField, seed: u64, lane: u64, truth: u64) -> u64 {
+    let mut rng = SplitMix64::new(seed ^ lane);
+    let offset = 1 + rng.next_u64() % (field.modulus() - 1);
+    field.add(truth, offset)
+}
+
+/// The symbol a [`FaultKind::Adversarial`] sender broadcasts: truth plus
+/// the configured offset, clamped to a nonzero residue.
+#[must_use]
+pub fn adversarial_symbol(field: &PrimeField, offset: u64, truth: u64) -> u64 {
+    let offset = 1 + (offset.max(1) - 1) % (field.modulus() - 1);
+    field.add(truth, offset)
+}
+
+/// The symbol a [`FaultKind::Equivocate`] sender unicasts to `receiver`
+/// for lane `lane`: truth plus a per-receiver nonzero offset.
+#[must_use]
+pub fn equivocated_symbol(
+    field: &PrimeField,
+    seed: u64,
+    receiver: usize,
+    lane: u64,
+    truth: u64,
+) -> u64 {
+    let mut rng = SplitMix64::new(seed ^ (receiver as u64).wrapping_mul(RECEIVER_MIX) ^ lane);
+    let offset = 1 + rng.next_u64() % (field.modulus() - 1);
+    field.add(truth, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> PrimeField {
+        PrimeField::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn random_corrupt_plans_are_deterministic_and_sized() {
+        let p1 = FaultPlan::random_corrupt(10, 4, 99);
+        let p2 = FaultPlan::random_corrupt(10, 4, 99);
+        let p3 = FaultPlan::random_corrupt(10, 4, 100);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        assert_eq!(p1.faulty_nodes().len(), 4);
+    }
+
+    #[test]
+    fn fault_lane_zero_is_identity() {
+        for idx in [0usize, 1, 77, 4096] {
+            assert_eq!(fault_lane(idx, 0), idx as u64);
+        }
+        assert_ne!(fault_lane(5, 1), 5);
+        assert_ne!(fault_lane(5, 1), fault_lane(5, 2));
+    }
+
+    #[test]
+    fn corrupted_symbols_are_nonzero_offsets() {
+        let f = field();
+        for lane in 0..50u64 {
+            let truth = lane * 37 % f.modulus();
+            assert_ne!(corrupt_symbol(&f, 7, lane, truth), truth);
+            assert_ne!(adversarial_symbol(&f, 0, truth), truth);
+            assert_ne!(adversarial_symbol(&f, u64::MAX, truth), truth);
+            assert_ne!(equivocated_symbol(&f, 3, 2, lane, truth), truth);
+        }
+    }
+
+    #[test]
+    fn equivocation_differs_across_receivers() {
+        let f = field();
+        let a = equivocated_symbol(&f, 9, 0, 5, 100);
+        let b = equivocated_symbol(&f, 9, 1, 5, 100);
+        assert_ne!(a, b);
+        // ... but is deterministic per receiver.
+        assert_eq!(a, equivocated_symbol(&f, 9, 0, 5, 100));
+    }
+}

@@ -1,4 +1,4 @@
-//! # camelot-cluster — a simulated byzantine compute cluster
+//! # camelot-cluster — a byzantine compute cluster with pluggable transports
 //!
 //! The paper's setting (§1.1–§1.3): `K` equally capable nodes share a
 //! common input, are collectively tasked with the evaluations
@@ -7,248 +7,50 @@
 //! pseudo-randomly, lie adversarially, or *equivocate* (send different
 //! values to different receivers, footnote 7 of the paper).
 //!
-//! This crate simulates that world deterministically: workload
-//! assignment in balanced contiguous slices, a broadcast bus, seeded fault
-//! injection, per-node work statistics, and optional OS-thread execution.
+//! Since PR 5 the broadcast medium is a [`Transport`] trait with three
+//! backends — the historical zero-overhead in-process bus
+//! ([`InProcess`]), per-node OS threads exchanging only mpsc message
+//! frames ([`ChannelTransport`]), and loopback TCP workers speaking a
+//! line-oriented frame format ([`SocketTransport`], optionally as
+//! spawned `camelot-node` processes so a round really spans OS
+//! processes). Fault injection happens **sender-side**
+//! ([`compute_node_frames`]): an equivocator genuinely unicasts a
+//! different frame to every receiver. All backends are bit-identical:
+//! same consensus word, same per-receiver views, same traffic
+//! accounting ([`RoundTraffic`]).
+//!
 //! The framework claims being exercised are about per-node *work*, code
-//! distance, and decoding — all transport-independent, which is why a
-//! simulation preserves the paper's behaviour exactly.
+//! distance, and decoding — all transport-independent, which is why the
+//! in-process simulation preserves the paper's behaviour exactly and
+//! the other backends must (and do) reproduce it bit for bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use camelot_ff::{PrimeField, RngLike, SplitMix64};
-use std::time::{Duration, Instant};
+mod fault;
+mod round;
+mod transport;
 
-/// How a node (mis)behaves during proof preparation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FaultKind {
-    /// Computes and broadcasts its symbols faithfully.
-    Honest,
-    /// Produces nothing (erasures at every receiver).
-    Crash,
-    /// Adds a seeded pseudo-random nonzero offset to every symbol it
-    /// broadcasts (the same wrong value to every receiver).
-    Corrupt {
-        /// Seed for the corruption stream.
-        seed: u64,
-    },
-    /// Adds a fixed nonzero offset to every symbol (a colluding,
-    /// worst-case liar — offsets are reduced nonzero mod `q`).
-    Adversarial {
-        /// The offset added to each symbol.
-        offset: u64,
-    },
-    /// Sends a *different* corrupted value to every receiver
-    /// (equivocation; receivers see inconsistent broadcast words but each
-    /// still decodes, cf. footnote 7 of the paper).
-    Equivocate {
-        /// Seed for the per-receiver corruption stream.
-        seed: u64,
-    },
-}
+pub use fault::{
+    adversarial_symbol, corrupt_symbol, equivocated_symbol, fault_lane, FaultKind, FaultPlan,
+};
+pub use round::{
+    assemble_round, assign_points, compute_node_frames, node_slice, Broadcast, FrameBody,
+    NodeFrames, NodeStats, ProgramEval, RoundEval, RoundOutcome, RoundSpec, RoundTraffic,
+    SingleEval,
+};
+pub use transport::{
+    encode_reply, execute_task, frame_wire_cost, parse_reply, serve_worker, sibling_worker_binary,
+    Backend, ChannelTransport, ClusterConfig, EvalProgram, InProcess, SocketTransport, Task,
+    Transport, TransportError, WorkerMode, REPLY_HEADER, TASK_HEADER,
+};
 
-impl FaultKind {
-    /// True for any non-honest behaviour.
-    #[must_use]
-    pub fn is_faulty(&self) -> bool {
-        !matches!(self, FaultKind::Honest)
-    }
-}
+use camelot_ff::PrimeField;
 
-/// Assignment of behaviours to the `K` nodes.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct FaultPlan {
-    kinds: Vec<FaultKind>,
-}
-
-impl FaultPlan {
-    /// Everyone behaves.
-    #[must_use]
-    pub fn all_honest(nodes: usize) -> Self {
-        FaultPlan { kinds: vec![FaultKind::Honest; nodes] }
-    }
-
-    /// Marks specific nodes faulty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a node index is out of range.
-    #[must_use]
-    pub fn with_faults(nodes: usize, faults: &[(usize, FaultKind)]) -> Self {
-        let mut plan = Self::all_honest(nodes);
-        for &(node, kind) in faults {
-            assert!(node < nodes, "fault assigned to nonexistent node {node}");
-            plan.kinds[node] = kind;
-        }
-        plan
-    }
-
-    /// Seeds `count` pseudo-randomly chosen distinct nodes with
-    /// [`FaultKind::Corrupt`] behaviour.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `count > nodes`.
-    #[must_use]
-    pub fn random_corrupt(nodes: usize, count: usize, seed: u64) -> Self {
-        assert!(count <= nodes, "cannot corrupt more nodes than exist");
-        let mut rng = SplitMix64::new(seed);
-        let mut plan = Self::all_honest(nodes);
-        let mut placed = 0;
-        while placed < count {
-            let node = (rng.next_u64() % nodes as u64) as usize;
-            if !plan.kinds[node].is_faulty() {
-                plan.kinds[node] = FaultKind::Corrupt { seed: rng.next_u64() };
-                placed += 1;
-            }
-        }
-        plan
-    }
-
-    /// Number of nodes in the plan.
-    #[must_use]
-    pub fn nodes(&self) -> usize {
-        self.kinds.len()
-    }
-
-    /// Behaviour of a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is out of range.
-    #[must_use]
-    pub fn kind(&self, node: usize) -> FaultKind {
-        self.kinds[node]
-    }
-
-    /// Indices of all non-honest nodes.
-    #[must_use]
-    pub fn faulty_nodes(&self) -> Vec<usize> {
-        self.kinds.iter().enumerate().filter_map(|(i, k)| k.is_faulty().then_some(i)).collect()
-    }
-}
-
-/// Execution configuration for a proof-preparation round.
-#[derive(Clone, Debug)]
-pub struct ClusterConfig {
-    /// Number of compute nodes `K`.
-    pub nodes: usize,
-    /// Run node slices on OS threads (the simulation is deterministic
-    /// either way; sequential is the default and is exactly reproducible
-    /// in timing-sensitive tests).
-    pub parallel: bool,
-}
-
-impl ClusterConfig {
-    /// Sequential simulation with `K` nodes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes == 0`.
-    #[must_use]
-    pub fn sequential(nodes: usize) -> Self {
-        assert!(nodes > 0, "a cluster needs at least one node");
-        ClusterConfig { nodes, parallel: false }
-    }
-
-    /// Threaded simulation with `K` nodes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes == 0`.
-    #[must_use]
-    pub fn parallel(nodes: usize) -> Self {
-        assert!(nodes > 0, "a cluster needs at least one node");
-        ClusterConfig { nodes, parallel: true }
-    }
-}
-
-/// The outcome of one proof-preparation round: the broadcast word as seen
-/// on the (shared) bus, plus per-node accounting.
-#[derive(Clone, Debug)]
-pub struct Broadcast {
-    /// Symbol per evaluation point; `None` where the owning node crashed.
-    pub symbols: Vec<Option<u64>>,
-    /// Owning node of each evaluation point.
-    pub assignment: Vec<usize>,
-    /// Per-node statistics.
-    pub stats: Vec<NodeStats>,
-    plan: FaultPlan,
-    field: PrimeField,
-    truth: Vec<u64>,
-}
-
-/// Work accounting for one node.
-#[derive(Clone, Debug, Default)]
-pub struct NodeStats {
-    /// Number of polynomial evaluations this node performed.
-    pub evaluations: usize,
-    /// Wall-clock time the node spent evaluating.
-    pub elapsed: Duration,
-}
-
-impl Broadcast {
-    /// The word as received by a particular node. Honest, crashed,
-    /// corrupt, and adversarial senders look identical to every receiver;
-    /// equivocating senders re-randomize per receiver.
-    #[must_use]
-    pub fn view_for(&self, receiver: usize) -> Vec<Option<u64>> {
-        let mut word = self.symbols.clone();
-        for (idx, &owner) in self.assignment.iter().enumerate() {
-            if let FaultKind::Equivocate { seed } = self.plan.kind(owner) {
-                let mut rng = SplitMix64::new(
-                    seed ^ (receiver as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx as u64,
-                );
-                let offset = 1 + rng.next_u64() % (self.field.modulus() - 1);
-                word[idx] = Some(self.field.add(self.truth[idx], offset));
-            }
-        }
-        word
-    }
-
-    /// Points owned by a given node.
-    #[must_use]
-    pub fn points_of(&self, node: usize) -> Vec<usize> {
-        self.assignment.iter().enumerate().filter_map(|(i, &o)| (o == node).then_some(i)).collect()
-    }
-
-    /// The fault plan used for the round.
-    #[must_use]
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
-    }
-
-    /// Total evaluations across all nodes.
-    #[must_use]
-    pub fn total_evaluations(&self) -> usize {
-        self.stats.iter().map(|s| s.evaluations).sum()
-    }
-
-    /// Maximum per-node evaluation count (the wall-clock-critical node).
-    #[must_use]
-    pub fn max_node_evaluations(&self) -> usize {
-        self.stats.iter().map(|s| s.evaluations).max().unwrap_or(0)
-    }
-}
-
-/// Balanced contiguous workload assignment: node `i` owns points
-/// `[i·e/K, (i+1)·e/K)` — slice sizes differ by at most one, the
-/// intrinsic workload balance of §1.4 of the paper.
-#[must_use]
-pub fn assign_points(num_points: usize, nodes: usize) -> Vec<usize> {
-    let mut owners = Vec::with_capacity(num_points);
-    for node in 0..nodes {
-        let lo = node * num_points / nodes;
-        let hi = (node + 1) * num_points / nodes;
-        owners.extend(std::iter::repeat_n(node, hi - lo));
-    }
-    owners
-}
-
-/// Runs one proof-preparation round: every node evaluates its slice of
-/// `points` with `eval`, faults are injected per `plan`, and the broadcast
-/// word is assembled.
+/// Runs one proof-preparation round on the configured backend: every
+/// node evaluates its slice of `points` with `eval`, transforms the
+/// symbols through its fault behaviour sender-side, and the broadcast
+/// word is assembled from the frames.
 ///
 /// `eval` receives the evaluation point (an element of `Z_q`) and must
 /// return `P(x) mod q` — the same function is reused by the verifier for
@@ -256,7 +58,10 @@ pub fn assign_points(num_points: usize, nodes: usize) -> Vec<usize> {
 ///
 /// # Panics
 ///
-/// Panics if `plan.nodes() != config.nodes`.
+/// Panics if `plan.nodes() != config.nodes`, or if the configured
+/// backend cannot run closures (the socket backend needs
+/// wire-expressible programs — use [`Transport::run`] with a
+/// [`ProgramEval`] for those rounds).
 pub fn run_round<F>(
     config: &ClusterConfig,
     field: &PrimeField,
@@ -268,201 +73,10 @@ where
     F: Fn(u64) -> u64 + Sync,
 {
     assert_eq!(plan.nodes(), config.nodes, "fault plan sized for a different cluster");
-    let assignment = assign_points(points.len(), config.nodes);
-    let mut truth = vec![0u64; points.len()];
-    let mut stats = vec![NodeStats::default(); config.nodes];
-
-    if config.parallel {
-        let mut slices: Vec<(usize, usize, usize)> = Vec::new(); // (node, lo, hi)
-        for node in 0..config.nodes {
-            let lo = node * points.len() / config.nodes;
-            let hi = (node + 1) * points.len() / config.nodes;
-            slices.push((node, lo, hi));
-        }
-        let results: Vec<(usize, Vec<u64>, Duration)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = slices
-                .iter()
-                .map(|&(node, lo, hi)| {
-                    let eval = &eval;
-                    scope.spawn(move || {
-                        let start = Instant::now();
-                        let vals: Vec<u64> = points[lo..hi].iter().map(|&x| eval(x)).collect();
-                        (node, vals, start.elapsed())
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
-        });
-        for (node, vals, elapsed) in results {
-            let lo = node * points.len() / config.nodes;
-            stats[node].evaluations = vals.len();
-            stats[node].elapsed = elapsed;
-            truth[lo..lo + vals.len()].copy_from_slice(&vals);
-        }
-    } else {
-        for (node, stat) in stats.iter_mut().enumerate() {
-            let lo = node * points.len() / config.nodes;
-            let hi = (node + 1) * points.len() / config.nodes;
-            let start = Instant::now();
-            for idx in lo..hi {
-                truth[idx] = eval(points[idx]);
-            }
-            stat.evaluations = hi - lo;
-            stat.elapsed = start.elapsed();
-        }
-    }
-
-    // Fault injection on the broadcast bus.
-    let mut symbols: Vec<Option<u64>> = truth.iter().copied().map(Some).collect();
-    for (idx, &owner) in assignment.iter().enumerate() {
-        match plan.kind(owner) {
-            FaultKind::Honest | FaultKind::Equivocate { .. } => {}
-            FaultKind::Crash => symbols[idx] = None,
-            FaultKind::Corrupt { seed } => {
-                let mut rng = SplitMix64::new(seed ^ idx as u64);
-                let offset = 1 + rng.next_u64() % (field.modulus() - 1);
-                symbols[idx] = Some(field.add(truth[idx], offset));
-            }
-            FaultKind::Adversarial { offset } => {
-                let offset = 1 + (offset.max(1) - 1) % (field.modulus() - 1);
-                symbols[idx] = Some(field.add(truth[idx], offset));
-            }
-        }
-    }
-
-    Broadcast { symbols, assignment, stats, plan: plan.clone(), field: *field, truth }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn field() -> PrimeField {
-        PrimeField::new(1_000_003).unwrap()
-    }
-
-    #[test]
-    fn assignment_is_balanced_and_complete() {
-        for (e, k) in [(10usize, 3usize), (7, 7), (100, 9), (5, 8)] {
-            let owners = assign_points(e, k);
-            assert_eq!(owners.len(), e);
-            let mut counts = vec![0usize; k];
-            for &o in &owners {
-                counts[o] += 1;
-            }
-            let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
-            assert!(hi - lo <= 1, "e={e} k={k}: counts {counts:?}");
-            // Contiguity: owners must be non-decreasing.
-            assert!(owners.windows(2).all(|w| w[0] <= w[1]));
-        }
-    }
-
-    #[test]
-    fn honest_round_reproduces_evaluations() {
-        let f = field();
-        let points: Vec<u64> = (0..20).collect();
-        let plan = FaultPlan::all_honest(4);
-        let b = run_round(&ClusterConfig::sequential(4), &f, &points, &plan, |x| f.mul(x, x));
-        for (i, s) in b.symbols.iter().enumerate() {
-            assert_eq!(*s, Some(f.mul(i as u64, i as u64)));
-        }
-        assert_eq!(b.total_evaluations(), 20);
-        assert_eq!(b.max_node_evaluations(), 5);
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        let f = field();
-        let points: Vec<u64> = (0..33).collect();
-        let plan = FaultPlan::all_honest(5);
-        let seq = run_round(&ClusterConfig::sequential(5), &f, &points, &plan, |x| f.pow(x, 3));
-        let par = run_round(&ClusterConfig::parallel(5), &f, &points, &plan, |x| f.pow(x, 3));
-        assert_eq!(seq.symbols, par.symbols);
-        assert_eq!(seq.assignment, par.assignment);
-    }
-
-    #[test]
-    fn crash_erases_exactly_the_owned_slice() {
-        let f = field();
-        let points: Vec<u64> = (0..12).collect();
-        let plan = FaultPlan::with_faults(3, &[(1, FaultKind::Crash)]);
-        let b = run_round(&ClusterConfig::sequential(3), &f, &points, &plan, |x| x);
-        for (i, s) in b.symbols.iter().enumerate() {
-            if b.assignment[i] == 1 {
-                assert_eq!(*s, None);
-            } else {
-                assert_eq!(*s, Some(i as u64));
-            }
-        }
-        assert_eq!(b.points_of(1), vec![4, 5, 6, 7]);
-    }
-
-    #[test]
-    fn corrupt_changes_every_owned_symbol() {
-        let f = field();
-        let points: Vec<u64> = (0..9).collect();
-        let plan = FaultPlan::with_faults(3, &[(2, FaultKind::Corrupt { seed: 7 })]);
-        let b = run_round(&ClusterConfig::sequential(3), &f, &points, &plan, |x| x);
-        for idx in b.points_of(2) {
-            assert_ne!(b.symbols[idx], Some(idx as u64), "symbol {idx} must be wrong");
-            assert!(b.symbols[idx].is_some());
-        }
-        for idx in b.points_of(0).into_iter().chain(b.points_of(1)) {
-            assert_eq!(b.symbols[idx], Some(idx as u64));
-        }
-    }
-
-    #[test]
-    fn adversarial_offset_never_zero() {
-        let f = field();
-        let points: Vec<u64> = (0..6).collect();
-        for offset in [0u64, 1, 999_999, u64::MAX] {
-            let plan = FaultPlan::with_faults(2, &[(0, FaultKind::Adversarial { offset })]);
-            let b = run_round(&ClusterConfig::sequential(2), &f, &points, &plan, |x| x);
-            for idx in b.points_of(0) {
-                assert_ne!(b.symbols[idx], Some(idx as u64), "offset {offset}");
-            }
-        }
-    }
-
-    #[test]
-    fn equivocation_gives_receivers_different_words() {
-        let f = field();
-        let points: Vec<u64> = (0..10).collect();
-        let plan = FaultPlan::with_faults(5, &[(2, FaultKind::Equivocate { seed: 3 })]);
-        let b = run_round(&ClusterConfig::sequential(5), &f, &points, &plan, |x| x);
-        let v0 = b.view_for(0);
-        let v1 = b.view_for(1);
-        let owned = b.points_of(2);
-        assert!(owned.iter().any(|&i| v0[i] != v1[i]), "receivers must disagree");
-        // Non-equivocated symbols agree everywhere.
-        for i in 0..10 {
-            if !owned.contains(&i) {
-                assert_eq!(v0[i], v1[i]);
-                assert_eq!(v0[i], Some(i as u64));
-            } else {
-                assert_ne!(v0[i], Some(i as u64), "equivocated symbol is wrong in every view");
-            }
-        }
-    }
-
-    #[test]
-    fn random_corrupt_plans_are_deterministic_and_sized() {
-        let p1 = FaultPlan::random_corrupt(10, 4, 99);
-        let p2 = FaultPlan::random_corrupt(10, 4, 99);
-        let p3 = FaultPlan::random_corrupt(10, 4, 100);
-        assert_eq!(p1, p2);
-        assert_ne!(p1, p3);
-        assert_eq!(p1.faulty_nodes().len(), 4);
-    }
-
-    #[test]
-    fn stats_track_work() {
-        let f = field();
-        let points: Vec<u64> = (0..10).collect();
-        let plan = FaultPlan::all_honest(3);
-        let b = run_round(&ClusterConfig::sequential(3), &f, &points, &plan, |x| x);
-        let evals: Vec<usize> = b.stats.iter().map(|s| s.evaluations).collect();
-        assert_eq!(evals, vec![3, 3, 4]);
-    }
+    let spec = RoundSpec { field, points, plan };
+    let outcome = config
+        .transport()
+        .run(&spec, &SingleEval(eval))
+        .expect("closure round failed on the configured backend");
+    outcome.broadcasts.into_iter().next().expect("width-1 round yields one broadcast")
 }

@@ -1,0 +1,90 @@
+//! The channel backend: one OS thread per node, message frames only.
+//!
+//! Each node runs on its own thread and owns its slice of the
+//! evaluation points outright; the only communication with the
+//! coordinator is two `std::sync::mpsc` messages — the task in, the
+//! [`NodeFrames`] out. There is no shared truth vector: the coordinator
+//! reassembles the broadcast exclusively from the frames, exactly as a
+//! distributed deployment would.
+
+use crate::round::{
+    assemble_round, compute_node_frames, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
+};
+use crate::transport::{Transport, TransportError};
+use camelot_ff::PrimeField;
+use std::sync::mpsc;
+
+/// The per-node work order message (owned — nothing borrowed from the
+/// coordinator's round state crosses the channel).
+struct ChannelTask {
+    field: PrimeField,
+    kind: crate::FaultKind,
+    nodes: usize,
+    node: usize,
+    lo: usize,
+    points: Vec<u64>,
+}
+
+/// The mpsc-channel backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChannelTransport;
+
+impl ChannelTransport {
+    /// A channel transport (one thread per node per round).
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelTransport
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn run(
+        &self,
+        spec: &RoundSpec<'_>,
+        eval: &dyn RoundEval,
+    ) -> Result<RoundOutcome, TransportError> {
+        let nodes = spec.plan.nodes();
+        let e = spec.points.len();
+        let (reply_tx, reply_rx) = mpsc::channel::<NodeFrames>();
+
+        let frames: Vec<NodeFrames> = std::thread::scope(|scope| {
+            for node in 0..nodes {
+                let (task_tx, task_rx) = mpsc::channel::<ChannelTask>();
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move || {
+                    // The node blocks for its work order, computes its
+                    // frames from the owned task alone, and replies.
+                    let task = task_rx.recv().expect("coordinator hung up");
+                    let frames = compute_node_frames(
+                        &task.field,
+                        task.kind,
+                        task.nodes,
+                        task.node,
+                        task.lo,
+                        &task.points,
+                        eval,
+                    );
+                    reply_tx.send(frames).expect("coordinator hung up");
+                });
+                let (lo, hi) = node_slice(e, nodes, node);
+                task_tx
+                    .send(ChannelTask {
+                        field: *spec.field,
+                        kind: spec.plan.kind(node),
+                        nodes,
+                        node,
+                        lo,
+                        points: spec.points[lo..hi].to_vec(),
+                    })
+                    .expect("node thread hung up");
+            }
+            drop(reply_tx);
+            reply_rx.iter().collect()
+        });
+        Ok(assemble_round(spec, eval.width(), frames))
+    }
+}

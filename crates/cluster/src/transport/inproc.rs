@@ -1,0 +1,81 @@
+//! The in-process simulated bus — the historical default backend.
+//!
+//! Node slices run inside the coordinator, sequentially or on scoped OS
+//! threads; frames are plain in-memory values, so the backend adds zero
+//! serialization overhead and is bit-identical to the seed simulation
+//! (deterministic either way — threading only changes wall-clock).
+
+use crate::round::{
+    assemble_round, compute_node_frames, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
+};
+use crate::transport::{Transport, TransportError};
+
+/// The in-process backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InProcess {
+    parallel: bool,
+}
+
+impl InProcess {
+    /// An in-process bus; `parallel` runs node slices on scoped threads.
+    #[must_use]
+    pub fn new(parallel: bool) -> Self {
+        InProcess { parallel }
+    }
+}
+
+impl Transport for InProcess {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "inproc-parallel"
+        } else {
+            "inproc"
+        }
+    }
+
+    fn run(
+        &self,
+        spec: &RoundSpec<'_>,
+        eval: &dyn RoundEval,
+    ) -> Result<RoundOutcome, TransportError> {
+        let nodes = spec.plan.nodes();
+        let e = spec.points.len();
+        let frames: Vec<NodeFrames> = if self.parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nodes)
+                    .map(|node| {
+                        let (lo, hi) = node_slice(e, nodes, node);
+                        scope.spawn(move || {
+                            compute_node_frames(
+                                spec.field,
+                                spec.plan.kind(node),
+                                nodes,
+                                node,
+                                lo,
+                                &spec.points[lo..hi],
+                                eval,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
+            })
+        } else {
+            (0..nodes)
+                .map(|node| {
+                    let (lo, hi) = node_slice(e, nodes, node);
+                    compute_node_frames(
+                        spec.field,
+                        spec.plan.kind(node),
+                        nodes,
+                        node,
+                        lo,
+                        &spec.points[lo..hi],
+                        eval,
+                    )
+                })
+                .collect()
+        };
+        Ok(assemble_round(spec, eval.width(), frames))
+    }
+}

@@ -1,0 +1,689 @@
+//! Pluggable broadcast transports.
+//!
+//! A [`Transport`] moves one round's frames between the `K` nodes and
+//! hands back the assembled [`RoundOutcome`]. Three backends ship:
+//!
+//! * [`InProcess`](crate::InProcess) — the historical simulated bus:
+//!   node slices run in the coordinator (sequentially or on scoped
+//!   threads), zero serialization overhead, bit-identical to the seed;
+//! * [`ChannelTransport`](crate::ChannelTransport) — one OS thread per
+//!   node, communicating **only** via `std::sync::mpsc` message frames
+//!   (no shared truth vector);
+//! * [`SocketTransport`](crate::SocketTransport) — loopback TCP workers
+//!   speaking the line-oriented v1 frame format below, either as
+//!   in-process threads or as spawned `camelot-node` worker processes,
+//!   so a round really spans OS processes.
+//!
+//! ## The v1 frame format
+//!
+//! Plain-text and line-oriented, extending the `camelot-certificate v1`
+//! conventions of the certificate wire format (ASCII, one
+//! space-separated record per line, explicit `end` marker):
+//!
+//! ```text
+//! camelot-task v1          camelot-reply v1
+//! field <q>                node <i>
+//! cluster <K>              evals <n>
+//! node <i>                 nanos <t>
+//! width <w>                frame all <sym|-> ...
+//! fault <kind...>          frame <r> <sym|-> ...
+//! program <p> poly <c...>  end
+//! points <lo> <x> ...
+//! end
+//! ```
+//!
+//! `-` marks an erased symbol. A uniform sender replies with a single
+//! `frame all` line; an equivocator replies with `frame all` (its
+//! truthful base, diagnostic) followed by one `frame <r>` line per
+//! receiver.
+
+mod channel;
+mod inproc;
+mod socket;
+
+pub use channel::ChannelTransport;
+pub use inproc::InProcess;
+pub use socket::{serve_worker, SocketTransport, WorkerMode};
+
+use crate::fault::FaultKind;
+use crate::round::{FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
+use camelot_ff::PrimeField;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A broadcast backend: runs one round and returns the assembled
+/// per-polynomial broadcasts plus traffic accounting.
+pub trait Transport {
+    /// Backend name for reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Runs one round.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NotWireExpressible`] when a process-spanning
+    /// backend is asked to run closures it cannot ship, and I/O or
+    /// protocol failures for the socket backend. The in-process backends
+    /// are infallible.
+    fn run(
+        &self,
+        spec: &RoundSpec<'_>,
+        eval: &dyn RoundEval,
+    ) -> Result<RoundOutcome, TransportError>;
+}
+
+/// Transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The round's polynomials have no wire-expressible program, so a
+    /// process-spanning backend cannot ship them.
+    NotWireExpressible,
+    /// An I/O failure on the socket backend.
+    Io {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A malformed task or reply message.
+    Protocol {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A worker exited or misbehaved.
+    WorkerFailed {
+        /// The node whose worker failed.
+        node: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::NotWireExpressible => {
+                write!(f, "round polynomials are not wire-expressible (no EvalProgram)")
+            }
+            TransportError::Io { reason } => write!(f, "transport I/O failed: {reason}"),
+            TransportError::Protocol { reason } => write!(f, "malformed frame: {reason}"),
+            TransportError::WorkerFailed { node, reason } => {
+                write!(f, "worker for node {node} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A wire-expressible evaluation program: what a `camelot-node` worker
+/// process can execute on its own, reconstructed from the task message
+/// alone (the paper's "common input" made literal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalProgram {
+    /// Horner evaluation of an explicit coefficient vector
+    /// (little-endian, reduced mod `q`).
+    Poly(Vec<u64>),
+}
+
+impl EvalProgram {
+    /// Evaluates the program at `x0` over `field`.
+    #[must_use]
+    pub fn eval(&self, field: &PrimeField, x0: u64) -> u64 {
+        match self {
+            EvalProgram::Poly(coeffs) => {
+                let x = field.reduce(x0);
+                let mut acc = 0u64;
+                for &c in coeffs.iter().rev() {
+                    acc = field.mul_add(field.reduce(c), acc, x);
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Which backend a [`ClusterConfig`] builds.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The in-process simulated bus (default; zero overhead).
+    #[default]
+    InProcess,
+    /// One OS thread per node, mpsc frames only.
+    Channel,
+    /// Loopback TCP workers speaking the v1 frame format.
+    Socket(WorkerMode),
+}
+
+/// Execution configuration for a proof-preparation round.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of compute nodes `K`.
+    pub nodes: usize,
+    /// For the [`Backend::InProcess`] backend: run node slices on OS
+    /// threads (the simulation is deterministic either way; sequential
+    /// is the default and is exactly reproducible in timing-sensitive
+    /// tests). The channel and socket backends are inherently
+    /// concurrent.
+    pub parallel: bool,
+    /// Which broadcast backend rounds run on.
+    pub backend: Backend,
+}
+
+impl ClusterConfig {
+    /// Sequential in-process simulation with `K` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn sequential(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        ClusterConfig { nodes, parallel: false, backend: Backend::InProcess }
+    }
+
+    /// Threaded in-process simulation with `K` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn parallel(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        ClusterConfig { nodes, parallel: true, backend: Backend::InProcess }
+    }
+
+    /// Switches the broadcast backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builds the configured transport.
+    #[must_use]
+    pub fn transport(&self) -> Box<dyn Transport> {
+        match &self.backend {
+            Backend::InProcess => Box::new(InProcess::new(self.parallel)),
+            Backend::Channel => Box::new(ChannelTransport::new()),
+            Backend::Socket(mode) => Box::new(SocketTransport::new(mode.clone())),
+        }
+    }
+}
+
+/// Resolves the `camelot-node` worker binary next to the current
+/// executable (all workspace binaries land in the same target
+/// directory), for process-spanning socket rounds.
+#[must_use]
+pub fn sibling_worker_binary() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for dir in [dir, dir.parent()?] {
+        let candidate = dir.join("camelot-node");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// The v1 frame format: task and reply messages.
+// ---------------------------------------------------------------------
+
+/// Magic header of a task message.
+pub const TASK_HEADER: &str = "camelot-task v1";
+/// Magic header of a reply message.
+pub const REPLY_HEADER: &str = "camelot-reply v1";
+
+/// One node's work order for a round, as shipped to a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// The round's prime modulus.
+    pub modulus: u64,
+    /// Cluster size `K`.
+    pub nodes: usize,
+    /// The node this task is for.
+    pub node: usize,
+    /// The node's behaviour this round.
+    pub fault: FaultKind,
+    /// One program per polynomial in the round.
+    pub programs: Vec<EvalProgram>,
+    /// Global index of the first assigned point.
+    pub lo: usize,
+    /// The node's assigned evaluation points.
+    pub points: Vec<u64>,
+}
+
+fn push_fault(out: &mut String, kind: FaultKind) {
+    match kind {
+        FaultKind::Honest => out.push_str("fault honest\n"),
+        FaultKind::Crash => out.push_str("fault crash\n"),
+        FaultKind::Corrupt { seed } => {
+            out.push_str(&format!("fault corrupt {seed}\n"));
+        }
+        FaultKind::Adversarial { offset } => {
+            out.push_str(&format!("fault adversarial {offset}\n"));
+        }
+        FaultKind::Equivocate { seed } => {
+            out.push_str(&format!("fault equivocate {seed}\n"));
+        }
+    }
+}
+
+fn parse_fault(tokens: &[&str]) -> Result<FaultKind, TransportError> {
+    let arg = |what: &str| -> Result<u64, TransportError> {
+        tokens
+            .get(1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| protocol(&format!("fault {what} needs a numeric argument")))
+    };
+    match tokens.first() {
+        Some(&"honest") => Ok(FaultKind::Honest),
+        Some(&"crash") => Ok(FaultKind::Crash),
+        Some(&"corrupt") => Ok(FaultKind::Corrupt { seed: arg("corrupt")? }),
+        Some(&"adversarial") => Ok(FaultKind::Adversarial { offset: arg("adversarial")? }),
+        Some(&"equivocate") => Ok(FaultKind::Equivocate { seed: arg("equivocate")? }),
+        _ => Err(protocol("unknown fault kind")),
+    }
+}
+
+fn protocol(reason: &str) -> TransportError {
+    TransportError::Protocol { reason: reason.to_string() }
+}
+
+impl Task {
+    /// Serializes to the v1 task format.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str(TASK_HEADER);
+        out.push('\n');
+        out.push_str(&format!("field {}\n", self.modulus));
+        out.push_str(&format!("cluster {}\n", self.nodes));
+        out.push_str(&format!("node {}\n", self.node));
+        out.push_str(&format!("width {}\n", self.programs.len()));
+        push_fault(&mut out, self.fault);
+        for (p, program) in self.programs.iter().enumerate() {
+            match program {
+                EvalProgram::Poly(coeffs) => {
+                    out.push_str(&format!("program {p} poly"));
+                    for &c in coeffs {
+                        out.push_str(&format!(" {c}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str(&format!("points {}", self.lo));
+        for &x in &self.points {
+            out.push_str(&format!(" {x}"));
+        }
+        out.push_str("\nend\n");
+        out
+    }
+
+    /// Parses the v1 task format.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Protocol`] for any structural violation (never
+    /// panics on malformed input).
+    pub fn from_wire(text: &str) -> Result<Task, TransportError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(TASK_HEADER) {
+            return Err(protocol("missing task header"));
+        }
+        let mut modulus = None;
+        let mut nodes = None;
+        let mut node = None;
+        let mut width = None;
+        let mut fault = None;
+        let mut programs: Vec<(usize, EvalProgram)> = Vec::new();
+        let mut assigned: Option<(usize, Vec<u64>)> = None;
+        let mut ended = false;
+        for line in lines {
+            let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+            match tokens.first() {
+                Some(&"field") => modulus = Some(parse_u64(tokens.get(1), "field")?),
+                Some(&"cluster") => nodes = Some(parse_usize(tokens.get(1), "cluster")?),
+                Some(&"node") => node = Some(parse_usize(tokens.get(1), "node")?),
+                Some(&"width") => width = Some(parse_usize(tokens.get(1), "width")?),
+                Some(&"fault") => fault = Some(parse_fault(&tokens[1..])?),
+                Some(&"program") => {
+                    let p = parse_usize(tokens.get(1), "program index")?;
+                    match tokens.get(2) {
+                        Some(&"poly") => {
+                            let coeffs = tokens[3..]
+                                .iter()
+                                .map(|t| {
+                                    t.parse::<u64>()
+                                        .map_err(|_| protocol("non-numeric program coefficient"))
+                                })
+                                .collect::<Result<Vec<u64>, _>>()?;
+                            programs.push((p, EvalProgram::Poly(coeffs)));
+                        }
+                        _ => return Err(protocol("unknown program kind")),
+                    }
+                }
+                Some(&"points") => {
+                    let lo = parse_usize(tokens.get(1), "points base index")?;
+                    let xs = tokens[2..]
+                        .iter()
+                        .map(|t| t.parse::<u64>().map_err(|_| protocol("non-numeric point")))
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    assigned = Some((lo, xs));
+                }
+                Some(&"end") => {
+                    ended = true;
+                    break;
+                }
+                Some(other) => return Err(protocol(&format!("unknown task section {other:?}"))),
+                None => {} // blank line tolerated
+            }
+        }
+        if !ended {
+            return Err(protocol("missing task end marker"));
+        }
+        let width = width.ok_or_else(|| protocol("missing width"))?;
+        programs.sort_by_key(|&(p, _)| p);
+        if programs.len() != width
+            || programs.iter().enumerate().any(|(i, &(p, _))| p != i)
+            || width == 0
+        {
+            return Err(protocol("program lines do not cover the round width"));
+        }
+        let (lo, points) = assigned.ok_or_else(|| protocol("missing points"))?;
+        let modulus = modulus.ok_or_else(|| protocol("missing field"))?;
+        if modulus < 2 {
+            return Err(protocol("field modulus must be at least 2"));
+        }
+        let nodes = nodes.ok_or_else(|| protocol("missing cluster size"))?;
+        let node = node.ok_or_else(|| protocol("missing node id"))?;
+        if nodes == 0 || node >= nodes {
+            return Err(protocol("node id outside the cluster"));
+        }
+        Ok(Task {
+            modulus,
+            nodes,
+            node,
+            fault: fault.ok_or_else(|| protocol("missing fault kind"))?,
+            programs: programs.into_iter().map(|(_, prog)| prog).collect(),
+            lo,
+            points,
+        })
+    }
+}
+
+fn parse_u64(tok: Option<&&str>, what: &str) -> Result<u64, TransportError> {
+    tok.and_then(|s| s.parse::<u64>().ok()).ok_or_else(|| protocol(&format!("bad {what} field")))
+}
+
+fn parse_usize(tok: Option<&&str>, what: &str) -> Result<usize, TransportError> {
+    tok.and_then(|s| s.parse::<usize>().ok()).ok_or_else(|| protocol(&format!("bad {what} field")))
+}
+
+fn push_symbols(out: &mut String, symbols: &[Option<u64>]) {
+    for sym in symbols {
+        match sym {
+            Some(v) => out.push_str(&format!(" {v}")),
+            None => out.push_str(" -"),
+        }
+    }
+    out.push('\n');
+}
+
+fn parse_symbols(tokens: &[&str]) -> Result<Vec<Option<u64>>, TransportError> {
+    tokens
+        .iter()
+        .map(|&t| {
+            if t == "-" {
+                Ok(None)
+            } else {
+                t.parse::<u64>().map(Some).map_err(|_| protocol("non-numeric symbol"))
+            }
+        })
+        .collect()
+}
+
+/// Serializes one node's reply (its [`NodeFrames`]) to the v1 format.
+#[must_use]
+pub fn encode_reply(frames: &NodeFrames) -> String {
+    let mut out = String::new();
+    out.push_str(REPLY_HEADER);
+    out.push('\n');
+    out.push_str(&format!("node {}\n", frames.node));
+    out.push_str(&format!("evals {}\n", frames.evaluations));
+    out.push_str(&format!("nanos {}\n", frames.elapsed.as_nanos()));
+    match &frames.body {
+        FrameBody::Uniform(symbols) => {
+            out.push_str("frame all");
+            push_symbols(&mut out, symbols);
+        }
+        FrameBody::PerReceiver { base, per_receiver } => {
+            out.push_str("frame all");
+            push_symbols(&mut out, base);
+            for (r, frame) in per_receiver.iter().enumerate() {
+                out.push_str(&format!("frame {r}"));
+                push_symbols(&mut out, frame);
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses one node's reply from the v1 format.
+///
+/// # Errors
+///
+/// [`TransportError::Protocol`] for any structural violation (never
+/// panics on malformed input).
+pub fn parse_reply(text: &str) -> Result<NodeFrames, TransportError> {
+    let mut lines = text.lines();
+    if lines.next() != Some(REPLY_HEADER) {
+        return Err(protocol("missing reply header"));
+    }
+    let mut node = None;
+    let mut evaluations = None;
+    let mut nanos: Option<u64> = None;
+    let mut base: Option<Vec<Option<u64>>> = None;
+    let mut per_receiver: Vec<(usize, Vec<Option<u64>>)> = Vec::new();
+    let mut ended = false;
+    for line in lines {
+        let tokens: Vec<&str> = line.split_ascii_whitespace().collect();
+        match tokens.first() {
+            Some(&"node") => node = Some(parse_usize(tokens.get(1), "node")?),
+            Some(&"evals") => evaluations = Some(parse_usize(tokens.get(1), "evals")?),
+            Some(&"nanos") => nanos = Some(parse_u64(tokens.get(1), "nanos")?),
+            Some(&"frame") => match tokens.get(1) {
+                Some(&"all") => {
+                    if base.is_some() {
+                        return Err(protocol("duplicate frame all"));
+                    }
+                    base = Some(parse_symbols(&tokens[2..])?);
+                }
+                Some(_) => {
+                    let r = parse_usize(tokens.get(1), "frame receiver")?;
+                    per_receiver.push((r, parse_symbols(&tokens[2..])?));
+                }
+                None => return Err(protocol("frame line missing receiver")),
+            },
+            Some(&"end") => {
+                ended = true;
+                break;
+            }
+            Some(other) => return Err(protocol(&format!("unknown reply section {other:?}"))),
+            None => {}
+        }
+    }
+    if !ended {
+        return Err(protocol("missing reply end marker"));
+    }
+    let base = base.ok_or_else(|| protocol("reply carries no frames"))?;
+    let body = if per_receiver.is_empty() {
+        FrameBody::Uniform(base)
+    } else {
+        per_receiver.sort_by_key(|&(r, _)| r);
+        if per_receiver.iter().enumerate().any(|(i, &(r, _))| r != i)
+            || per_receiver.iter().any(|(_, f)| f.len() != base.len())
+        {
+            return Err(protocol("per-receiver frames do not cover the cluster"));
+        }
+        FrameBody::PerReceiver {
+            base,
+            per_receiver: per_receiver.into_iter().map(|(_, f)| f).collect(),
+        }
+    };
+    Ok(NodeFrames {
+        node: node.ok_or_else(|| protocol("missing node id"))?,
+        evaluations: evaluations.ok_or_else(|| protocol("missing evals"))?,
+        elapsed: Duration::from_nanos(nanos.ok_or_else(|| protocol("missing nanos"))?),
+        body,
+    })
+}
+
+/// Executes a parsed [`Task`]: the worker side of a round, shared by
+/// the `camelot-node` process and the in-process socket workers.
+#[must_use]
+pub fn execute_task(task: &Task) -> NodeFrames {
+    let field = PrimeField::new_unchecked(task.modulus);
+    let eval = crate::round::ProgramEval::new(&field, task.programs.clone());
+    crate::round::compute_node_frames(
+        &field,
+        task.fault,
+        task.nodes,
+        task.node,
+        task.lo,
+        &task.points,
+        &eval,
+    )
+}
+
+/// The (symbols broadcast, frame bytes) cost of one node's frames in
+/// the v1 encoding — the shared traffic model: uniform senders
+/// broadcast their `frame all` line once, equivocators pay one
+/// `frame <r>` line per receiver, crashed senders put nothing on the
+/// medium (their explicit erasure frame is simulation bookkeeping).
+#[must_use]
+pub fn frame_wire_cost(kind: FaultKind, body: &FrameBody) -> (usize, u64) {
+    fn line_bytes(prefix: usize, symbols: &[Option<u64>]) -> u64 {
+        let mut bytes = prefix as u64 + 1; // prefix + newline
+        for sym in symbols {
+            bytes += 1 // separating space
+                + match sym {
+                    Some(v) => decimal_digits(*v),
+                    None => 1,
+                };
+        }
+        bytes
+    }
+    match (kind, body) {
+        (FaultKind::Crash, _) => (0, 0),
+        (_, FrameBody::Uniform(symbols)) => (symbols.len(), line_bytes("frame all".len(), symbols)),
+        (_, FrameBody::PerReceiver { per_receiver, .. }) => {
+            let symbols: usize = per_receiver.iter().map(Vec::len).sum();
+            let bytes = per_receiver
+                .iter()
+                .enumerate()
+                .map(|(r, frame)| {
+                    line_bytes("frame ".len() + decimal_digits(r as u64) as usize, frame)
+                })
+                .sum();
+            (symbols, bytes)
+        }
+    }
+}
+
+fn decimal_digits(v: u64) -> u64 {
+    if v == 0 {
+        1
+    } else {
+        v.ilog10() as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_roundtrips() {
+        let task = Task {
+            modulus: 1_000_003,
+            nodes: 5,
+            node: 2,
+            fault: FaultKind::Equivocate { seed: 42 },
+            programs: vec![EvalProgram::Poly(vec![1, 2, 3]), EvalProgram::Poly(vec![0])],
+            lo: 8,
+            points: vec![8, 9, 10, 11],
+        };
+        assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task);
+    }
+
+    #[test]
+    fn reply_roundtrips_uniform_and_per_receiver() {
+        let uniform = NodeFrames {
+            node: 1,
+            evaluations: 3,
+            elapsed: Duration::from_nanos(123_456),
+            body: FrameBody::Uniform(vec![Some(5), None, Some(0)]),
+        };
+        assert_eq!(parse_reply(&encode_reply(&uniform)).unwrap(), uniform);
+
+        let equivocating = NodeFrames {
+            node: 0,
+            evaluations: 2,
+            elapsed: Duration::ZERO,
+            body: FrameBody::PerReceiver {
+                base: vec![Some(1), Some(2)],
+                per_receiver: vec![vec![Some(3), Some(4)], vec![Some(5), Some(6)]],
+            },
+        };
+        assert_eq!(parse_reply(&encode_reply(&equivocating)).unwrap(), equivocating);
+    }
+
+    #[test]
+    fn malformed_messages_error_out() {
+        for text in [
+            "",
+            "nonsense",
+            "camelot-task v1\nend\n",
+            "camelot-task v1\nfield abc\nend\n",
+            "camelot-task v1\nfield 97\ncluster 2\nnode 5\nwidth 1\nfault honest\nprogram 0 poly 1\npoints 0 1\nend\n",
+            "camelot-task v1\nfield 97\ncluster 2\nnode 0\nwidth 2\nfault honest\nprogram 0 poly 1\npoints 0 1\nend\n",
+            "camelot-task v1\nfield 97\ncluster 2\nnode 0\nwidth 1\nfault corrupt\nprogram 0 poly 1\npoints 0 1\nend\n",
+            "camelot-reply v1\nend\n",
+            "camelot-reply v1\nnode 0\nevals 1\nnanos 5\nframe all 1\nframe 1 2\nend\n",
+            "camelot-reply v1\nnode 0\nevals 1\nnanos 5\nframe all 1 2\nframe 0 9\nframe 1 8\nend\n",
+        ] {
+            assert!(Task::from_wire(text).is_err() || parse_reply(text).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn execute_task_applies_the_fault() {
+        let task = Task {
+            modulus: 1_000_003,
+            nodes: 3,
+            node: 1,
+            fault: FaultKind::Crash,
+            programs: vec![EvalProgram::Poly(vec![7, 1])], // 7 + x
+            lo: 4,
+            points: vec![4, 5, 6, 7],
+        };
+        let frames = execute_task(&task);
+        assert_eq!(frames.evaluations, 4);
+        assert_eq!(frames.body, FrameBody::Uniform(vec![None; 4]));
+        let honest = execute_task(&Task { fault: FaultKind::Honest, ..task });
+        assert_eq!(honest.body, FrameBody::Uniform(vec![Some(11), Some(12), Some(13), Some(14)]));
+    }
+
+    #[test]
+    fn program_eval_matches_horner() {
+        let field = PrimeField::new(97).unwrap();
+        let program = EvalProgram::Poly(vec![3, 0, 1]); // 3 + x^2
+        assert_eq!(program.eval(&field, 0), 3);
+        assert_eq!(program.eval(&field, 5), 28);
+        assert_eq!(program.eval(&field, 97 + 5), 28);
+    }
+}

@@ -1,0 +1,386 @@
+//! The socket backend: loopback TCP workers speaking the v1 frame
+//! format, so a round genuinely crosses process (or just thread)
+//! boundaries with nothing shared but the wire.
+//!
+//! The coordinator binds an ephemeral loopback listener, starts `K`
+//! workers, hands each accepted connection one [`Task`], and reads back
+//! one reply per worker. Workers are either in-process threads (always
+//! available; still full TCP + text frames) or spawned `camelot-node`
+//! processes ([`WorkerMode::Process`]), in which case every node runs
+//! in its own OS process and reconstructs the round from the task
+//! message alone — the paper's "common input" made literal.
+//!
+//! Socket rounds require wire-expressible polynomials
+//! ([`RoundEval::programs`]); closures cannot cross a process boundary.
+
+use crate::round::{assemble_round, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
+use crate::transport::{encode_reply, execute_task, parse_reply, Task, Transport, TransportError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// How long the coordinator waits on any single socket operation before
+/// declaring a worker dead (loopback rounds complete in milliseconds;
+/// this only bounds pathological hangs).
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How socket workers are started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// In-process worker threads serving real loopback TCP connections.
+    Threads,
+    /// One spawned worker process per node, running the given
+    /// `camelot-node` binary.
+    Process(PathBuf),
+}
+
+/// The loopback-socket backend.
+#[derive(Clone, Debug)]
+pub struct SocketTransport {
+    mode: WorkerMode,
+}
+
+impl SocketTransport {
+    /// A socket transport with the given worker mode.
+    #[must_use]
+    pub fn new(mode: WorkerMode) -> Self {
+        SocketTransport { mode }
+    }
+
+    /// A socket transport backed by in-process worker threads.
+    #[must_use]
+    pub fn loopback() -> Self {
+        SocketTransport::new(WorkerMode::Threads)
+    }
+
+    /// A socket transport spawning `camelot-node` worker processes.
+    #[must_use]
+    pub fn with_worker_binary(path: PathBuf) -> Self {
+        SocketTransport::new(WorkerMode::Process(path))
+    }
+}
+
+fn io_err(what: &str, err: &std::io::Error) -> TransportError {
+    TransportError::Io { reason: format!("{what}: {err}") }
+}
+
+/// Reads one v1 message (through its `end` line) from a buffered
+/// stream.
+fn read_message<R: BufRead>(reader: &mut R) -> Result<String, TransportError> {
+    let mut text = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| io_err("reading message", &e))?;
+        if n == 0 {
+            return Err(TransportError::Protocol {
+                reason: "connection closed mid-message".to_string(),
+            });
+        }
+        text.push_str(&line);
+        if line.trim_end() == "end" {
+            return Ok(text);
+        }
+    }
+}
+
+/// Serves one task on an accepted connection: read the task, execute
+/// it, reply. The entire worker side of the protocol — the
+/// `camelot-node` binary is a thin wrapper around this.
+///
+/// # Errors
+///
+/// I/O failures and malformed tasks.
+pub fn serve_worker(stream: TcpStream) -> Result<(), TransportError> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", &e))?);
+    let task = Task::from_wire(&read_message(&mut reader)?)?;
+    let frames = execute_task(&task);
+    let mut stream = stream;
+    stream
+        .write_all(encode_reply(&frames).as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| io_err("writing reply", &e))
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            WorkerMode::Threads => "socket",
+            WorkerMode::Process(_) => "socket-process",
+        }
+    }
+
+    fn run(
+        &self,
+        spec: &RoundSpec<'_>,
+        eval: &dyn RoundEval,
+    ) -> Result<RoundOutcome, TransportError> {
+        let programs = eval.programs().ok_or(TransportError::NotWireExpressible)?;
+        let nodes = spec.plan.nodes();
+        let e = spec.points.len();
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding listener", &e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local addr", &e))?;
+
+        // Start the workers; each connects back to the coordinator.
+        let mut worker_threads = Vec::new();
+        let mut worker_processes: Vec<Child> = Vec::new();
+        match &self.mode {
+            WorkerMode::Threads => {
+                for _ in 0..nodes {
+                    worker_threads.push(std::thread::spawn(move || {
+                        let stream =
+                            TcpStream::connect(addr).map_err(|e| io_err("worker connect", &e))?;
+                        serve_worker(stream)
+                    }));
+                }
+            }
+            WorkerMode::Process(bin) => {
+                for node in 0..nodes {
+                    let child = Command::new(bin)
+                        .arg("--connect")
+                        .arg(addr.to_string())
+                        .stdin(Stdio::null())
+                        .spawn()
+                        .map_err(|err| TransportError::WorkerFailed {
+                            node,
+                            reason: format!("spawning {}: {err}", bin.display()),
+                        });
+                    match child {
+                        Ok(child) => worker_processes.push(child),
+                        Err(err) => {
+                            for mut child in worker_processes {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                            }
+                            return Err(err);
+                        }
+                    }
+                }
+            }
+        }
+
+        let result = self.drive_round(spec, &programs, nodes, e, &listener, &mut worker_processes);
+
+        for handle in worker_threads {
+            let worker = handle.join().map_err(|_| TransportError::Protocol {
+                reason: "worker thread panicked".to_string(),
+            })?;
+            if result.is_ok() {
+                // With a complete round a worker cannot have failed
+                // (its reply would have been missing); when the round
+                // itself failed, that error wins below.
+                worker?;
+            }
+        }
+        for (node, mut child) in worker_processes.into_iter().enumerate() {
+            if result.is_err() {
+                let _ = child.kill();
+            }
+            let status = child.wait().map_err(|e| io_err("waiting for worker", &e))?;
+            if result.is_ok() && !status.success() {
+                return Err(TransportError::WorkerFailed {
+                    node,
+                    reason: format!("exit status {status}"),
+                });
+            }
+        }
+
+        let frames = result?;
+        Ok(assemble_round(spec, programs.len(), frames))
+    }
+}
+
+/// Accepts one worker connection with a deadline — `accept` itself must
+/// not hang when a worker dies before connecting (a spawned binary that
+/// exits at startup, a thread whose connect failed). Polls in
+/// non-blocking mode and fails fast when a worker process has already
+/// exited with a failure status.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    children: &mut [Child],
+) -> Result<TcpStream, TransportError> {
+    listener.set_nonblocking(true).map_err(|e| io_err("set nonblocking", &e))?;
+    let deadline = std::time::Instant::now() + SOCKET_TIMEOUT;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).map_err(|e| io_err("set blocking", &e))?;
+                return Ok(stream);
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                // A worker that exited nonzero before connecting will
+                // never connect; report it instead of running out the
+                // clock. (A zero exit is fine — a fast worker may have
+                // already served an earlier accepted connection.)
+                for (node, child) in children.iter_mut().enumerate() {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        if !status.success() {
+                            return Err(TransportError::WorkerFailed {
+                                node,
+                                reason: format!("exit status {status} before connecting"),
+                            });
+                        }
+                    }
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(TransportError::Io {
+                        reason: "timed out waiting for a worker to connect".to_string(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(err) => return Err(io_err("accepting worker", &err)),
+        }
+    }
+}
+
+impl SocketTransport {
+    /// Accepts the `K` worker connections, hands out tasks, and
+    /// collects the replies.
+    fn drive_round(
+        &self,
+        spec: &RoundSpec<'_>,
+        programs: &[crate::transport::EvalProgram],
+        nodes: usize,
+        e: usize,
+        listener: &TcpListener,
+        children: &mut [Child],
+    ) -> Result<Vec<NodeFrames>, TransportError> {
+        // Hand out all tasks first (workers compute concurrently), then
+        // drain the replies.
+        let mut streams = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let mut stream = accept_with_deadline(listener, children)?;
+            stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
+            let (lo, hi) = node_slice(e, nodes, node);
+            let task = Task {
+                modulus: spec.field.modulus(),
+                nodes,
+                node,
+                fault: spec.plan.kind(node),
+                programs: programs.to_vec(),
+                lo,
+                points: spec.points[lo..hi].to_vec(),
+            };
+            stream
+                .write_all(task.to_wire().as_bytes())
+                .and_then(|()| stream.flush())
+                .map_err(|e| io_err("writing task", &e))?;
+            streams.push(stream);
+        }
+        let mut frames = Vec::with_capacity(nodes);
+        for (node, stream) in streams.into_iter().enumerate() {
+            let mut reader = BufReader::new(stream);
+            let reply = parse_reply(&read_message(&mut reader)?)?;
+            // Validate the (untrusted) reply before it reaches the
+            // shared assembly, which treats frames as well-formed.
+            let (lo, hi) = node_slice(e, nodes, node);
+            let expected = (hi - lo) * programs.len();
+            let (body_len, receivers) = match &reply.body {
+                crate::round::FrameBody::Uniform(symbols) => (symbols.len(), nodes),
+                crate::round::FrameBody::PerReceiver { base, per_receiver } => {
+                    (base.len(), per_receiver.len())
+                }
+            };
+            if reply.node != node || reply.evaluations != expected || body_len != expected {
+                return Err(TransportError::Protocol {
+                    reason: format!("reply from worker {node} does not match its task"),
+                });
+            }
+            if receivers != nodes {
+                return Err(TransportError::Protocol {
+                    reason: format!("reply from worker {node} does not cover the cluster"),
+                });
+            }
+            frames.push(reply);
+        }
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::ProgramEval;
+    use crate::transport::EvalProgram;
+    use crate::{ClusterConfig, FaultKind, FaultPlan};
+    use camelot_ff::PrimeField;
+
+    /// A socket round over loopback TCP must be bit-identical to the
+    /// in-process bus on a mixed fault plan, multi-polynomial included.
+    #[test]
+    fn socket_round_matches_in_process() {
+        let field = PrimeField::new(1_000_003).unwrap();
+        let points: Vec<u64> = (0..31).collect();
+        let plan = FaultPlan::with_faults(
+            7,
+            &[
+                (1, FaultKind::Crash),
+                (2, FaultKind::Corrupt { seed: 11 }),
+                (3, FaultKind::Adversarial { offset: 4 }),
+                (5, FaultKind::Equivocate { seed: 12 }),
+            ],
+        );
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let eval = ProgramEval::new(
+            &field,
+            vec![EvalProgram::Poly(vec![3, 1, 4]), EvalProgram::Poly(vec![9, 0, 0, 2])],
+        );
+        let reference = ClusterConfig::sequential(7).transport().run(&spec, &eval).unwrap();
+        let socket = SocketTransport::loopback().run(&spec, &eval).unwrap();
+        assert_eq!(socket.broadcasts.len(), 2);
+        for (s, r) in socket.broadcasts.iter().zip(&reference.broadcasts) {
+            assert!(s.same_word(r), "socket round diverged from the in-process bus");
+            for receiver in 0..7 {
+                assert_eq!(s.view_for(receiver), r.view_for(receiver));
+            }
+        }
+        assert_eq!(socket.traffic, reference.traffic);
+    }
+
+    /// Closures cannot cross the socket boundary.
+    #[test]
+    fn socket_rejects_closures() {
+        let field = PrimeField::new(97).unwrap();
+        let points: Vec<u64> = (0..8).collect();
+        let plan = FaultPlan::all_honest(2);
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let err =
+            SocketTransport::loopback().run(&spec, &crate::round::SingleEval(|x| x)).unwrap_err();
+        assert_eq!(err, TransportError::NotWireExpressible);
+    }
+
+    /// A missing worker binary surfaces as a worker failure, not a hang.
+    #[test]
+    fn missing_worker_binary_fails_fast() {
+        let field = PrimeField::new(97).unwrap();
+        let points: Vec<u64> = (0..4).collect();
+        let plan = FaultPlan::all_honest(2);
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let eval = ProgramEval::new(&field, vec![EvalProgram::Poly(vec![1])]);
+        let transport =
+            SocketTransport::with_worker_binary(PathBuf::from("/nonexistent/camelot-node"));
+        assert!(matches!(transport.run(&spec, &eval), Err(TransportError::WorkerFailed { .. })));
+    }
+
+    /// A worker that spawns but exits (nonzero) without ever connecting
+    /// must be reported promptly — the accept loop may not run out the
+    /// full socket timeout.
+    #[test]
+    fn worker_dying_before_connecting_fails_fast() {
+        let field = PrimeField::new(97).unwrap();
+        let points: Vec<u64> = (0..4).collect();
+        let plan = FaultPlan::all_honest(2);
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let eval = ProgramEval::new(&field, vec![EvalProgram::Poly(vec![1])]);
+        // `false` spawns fine and exits 1 immediately, never connecting.
+        let transport = SocketTransport::with_worker_binary(PathBuf::from("/bin/false"));
+        let start = std::time::Instant::now();
+        let err = transport.run(&spec, &eval).unwrap_err();
+        assert!(matches!(err, TransportError::WorkerFailed { .. }), "{err}");
+        assert!(start.elapsed() < SOCKET_TIMEOUT / 2, "must fail fast, not run out the clock");
+    }
+}

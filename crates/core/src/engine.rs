@@ -14,8 +14,10 @@
 //! 5. reconstruct the integer answer by the Chinese Remainder Theorem.
 
 use crate::error::CamelotError;
-use crate::problem::{CamelotProblem, PrimeProof, ProofSpec};
-use camelot_cluster::{run_round, ClusterConfig, FaultPlan};
+use crate::problem::{CamelotProblem, Evaluate, PrimeProof, ProofSpec};
+use camelot_cluster::{
+    Backend, Broadcast, ClusterConfig, EvalProgram, FaultPlan, RoundEval, RoundSpec,
+};
 use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
 use std::collections::BTreeSet;
@@ -121,6 +123,17 @@ impl EngineConfig {
         self
     }
 
+    /// Switches the broadcast backend rounds run on (the in-process
+    /// simulated bus by default; [`Backend::Channel`] for per-node OS
+    /// threads exchanging mpsc frames; [`Backend::Socket`] for loopback
+    /// TCP workers — the latter needs wire-expressible problems, see
+    /// [`Evaluate::program`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.cluster.backend = backend;
+        self
+    }
+
     /// The prime moduli this configuration derives for a spec and code
     /// length.
     #[must_use]
@@ -175,6 +188,24 @@ pub struct RunReport {
     pub verification_evaluations: usize,
     /// Wall-clock time of the busiest node, summed over primes.
     pub critical_path: Duration,
+    /// Broadcast rounds this run took part in — exactly one per prime.
+    /// A batched run shares each round across all its problems: every
+    /// outcome of the batch records the *same* shared round counters
+    /// (`rounds`, `symbols_broadcast`, `bytes_on_wire`), which is how
+    /// the one-broadcast-per-prime-per-batch property is observable.
+    pub rounds: usize,
+    /// Symbols put on the broadcast medium across all rounds (a batched
+    /// round carries one symbol per problem per point; equivocators pay
+    /// one unicast copy per receiver, crashed senders contribute
+    /// nothing) — the per-node-bandwidth quantity of the broadcast
+    /// congested clique literature.
+    pub symbols_broadcast: usize,
+    /// Bytes the rounds' *payload* frame lines occupy in the v1 frame
+    /// encoding — a deterministic traffic model computed identically on
+    /// every backend (protocol headers, per-node bookkeeping lines, and
+    /// crash/diagnostic frames are excluded, so a socket transport's
+    /// raw byte count is somewhat higher).
+    pub bytes_on_wire: u64,
 }
 
 /// Result of a successful run.
@@ -292,24 +323,32 @@ impl Engine {
         let spec = problem.spec();
         let e = code_length(&spec, self.config.fault_tolerance);
         let primes = self.config.primes_for(&spec, e);
-        self.run_prepared(problem, &spec, &primes, e)
+        let mut outcomes = self.run_rounds(&[problem], &[spec], &primes, e)?;
+        Ok(outcomes.pop().expect("one problem yields one outcome"))
     }
 
     /// Runs a batch of problems through the pipeline, amortizing the
     /// shared setup — prime selection and code-length derivation happen
     /// once for the whole batch, against the *joint* proof spec (maximum
-    /// degree bound, value bits, and modulus floor across the batch).
+    /// degree bound, value bits, and modulus floor across the batch) —
+    /// and sharing the cluster rounds: for each prime, **one**
+    /// multi-polynomial broadcast round evaluates every problem of the
+    /// batch at every point (one symbol per problem per point per
+    /// frame), so a batch of `n` problems costs exactly one broadcast
+    /// round per prime, not `n`.
     ///
-    /// Every problem is evaluated, decoded (against its own degree
-    /// bound), spot-checked, and recovered exactly as in [`Engine::run`];
-    /// the recovered outputs are identical to per-problem runs. The
-    /// certificates may use larger moduli / code length than a solo run
-    /// would, since the parameters cover the whole batch.
+    /// Every problem is decoded (against its own degree bound, from its
+    /// own lane of the shared round), spot-checked, and recovered
+    /// exactly as in [`Engine::run`]; the recovered outputs are
+    /// identical to per-problem runs. The certificates may use larger
+    /// moduli / code length than a solo run would, since the parameters
+    /// cover the whole batch. Each outcome's [`RunReport`] records the
+    /// shared round counters (see [`RunReport::rounds`]).
     ///
     /// # Errors
     ///
-    /// The same failure modes as [`Engine::run`]; the first failing
-    /// problem aborts the batch.
+    /// The same failure modes as [`Engine::run`]; the first failure
+    /// aborts the batch.
     pub fn run_batch<P: CamelotProblem>(
         &self,
         problems: &[P],
@@ -325,22 +364,22 @@ impl Engine {
         );
         let e = code_length(&joint, self.config.fault_tolerance);
         let primes = self.config.primes_for(&joint, e);
-        problems
-            .iter()
-            .zip(&specs)
-            .map(|(problem, spec)| self.run_prepared(problem, spec, &primes, e))
-            .collect()
+        let refs: Vec<&P> = problems.iter().collect();
+        self.run_rounds(&refs, &specs, &primes, e)
     }
 
-    /// The prepare → correct → check → recover pipeline for one problem,
-    /// with the prime moduli and code length already derived.
-    fn run_prepared<P: CamelotProblem>(
+    /// The prepare → correct → check → recover pipeline, with the prime
+    /// moduli and code length already derived: one broadcast round per
+    /// prime carries all problems' evaluations through the configured
+    /// transport, then every problem decodes, spot-checks, and recovers
+    /// from its own lane of the shared rounds.
+    fn run_rounds<P: CamelotProblem>(
         &self,
-        problem: &P,
-        spec: &ProofSpec,
+        problems: &[&P],
+        specs: &[ProofSpec],
         primes: &[u64],
         e: usize,
-    ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
+    ) -> Result<Vec<CamelotOutcome<P::Output>>, CamelotError> {
         let plan = self
             .config
             .plan
@@ -368,15 +407,21 @@ impl Engine {
             });
         }
 
-        let mut report = RunReport {
-            nodes: self.config.cluster.nodes,
-            primes: primes.to_vec(),
-            code_length: e,
-            ..RunReport::default()
-        };
-        let mut proofs = Vec::with_capacity(primes.len());
-        let mut faulty: BTreeSet<usize> = BTreeSet::new();
-        let mut crashed: BTreeSet<usize> = BTreeSet::new();
+        let transport = self.config.cluster.transport();
+        let mut accs: Vec<ProblemAcc> = specs
+            .iter()
+            .map(|_| ProblemAcc {
+                proofs: Vec::with_capacity(primes.len()),
+                faulty: BTreeSet::new(),
+                crashed: BTreeSet::new(),
+                report: RunReport {
+                    nodes: self.config.cluster.nodes,
+                    primes: primes.to_vec(),
+                    code_length: e,
+                    ..RunReport::default()
+                },
+            })
+            .collect();
 
         for &q in primes {
             let field = PrimeField::new_unchecked(q);
@@ -390,62 +435,135 @@ impl Engine {
                     .unwrap_or_else(|| RsCode::consecutive(&field, e)),
             };
             let points = code.points().to_vec();
-            let evaluator = problem.evaluator(&field);
-            let broadcast =
-                run_round(&self.config.cluster, &field, &points, &plan, |x| evaluator.eval(x));
-            report.total_evaluations += broadcast.total_evaluations();
-            report.max_node_evaluations += broadcast.max_node_evaluations();
-            report.critical_path +=
-                broadcast.stats.iter().map(|s| s.elapsed).max().unwrap_or_default();
-
-            // Every deciding node runs the Gao decoder on its own view.
-            let deciders: &[usize] =
-                if self.config.decode_at_all_nodes { &honest } else { &honest[..1] };
-            let mut agreed: Option<PrimeProof> = None;
-            for &node in deciders {
-                let view = broadcast.view_for(node);
-                let decoded = code
-                    .decode(&field, &view, spec.degree_bound)
-                    .map_err(|source| CamelotError::DecodeFailed { modulus: q, node, source })?;
-                for &pos in &decoded.error_positions {
-                    faulty.insert(broadcast.assignment[pos]);
-                }
-                for &pos in &decoded.erasure_positions {
-                    crashed.insert(broadcast.assignment[pos]);
-                }
-                let proof = PrimeProof { modulus: q, coefficients: decoded.poly.into_coeffs() };
-                match &agreed {
-                    None => agreed = Some(proof),
-                    Some(prev) if *prev != proof => {
-                        return Err(CamelotError::DecodeDisagreement { modulus: q })
-                    }
-                    Some(_) => {}
-                }
+            let evaluators: Vec<Box<dyn Evaluate + '_>> =
+                problems.iter().map(|p| p.evaluator(&field)).collect();
+            let round_eval = ProblemRound { evaluators: &evaluators };
+            let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+            // One broadcast round per prime for the whole batch.
+            let round =
+                transport.run(&spec, &round_eval).map_err(|err| CamelotError::TransportFailed {
+                    reason: format!("{} backend: {err}", transport.name()),
+                })?;
+            debug_assert_eq!(round.broadcasts.len(), problems.len());
+            for (i, broadcast) in round.broadcasts.iter().enumerate() {
+                let acc = &mut accs[i];
+                acc.report.total_evaluations += broadcast.total_evaluations();
+                acc.report.max_node_evaluations += broadcast.max_node_evaluations();
+                acc.report.critical_path +=
+                    broadcast.stats.iter().map(|s| s.elapsed).max().unwrap_or_default();
+                acc.report.rounds += 1;
+                acc.report.symbols_broadcast += round.traffic.symbols_broadcast;
+                acc.report.bytes_on_wire += round.traffic.bytes_on_wire;
+                let proof = self.decode_and_check(
+                    &code,
+                    &field,
+                    broadcast,
+                    specs[i].degree_bound,
+                    &honest,
+                    evaluators[i].as_ref(),
+                    acc,
+                )?;
+                acc.proofs.push(proof);
             }
-            let proof = agreed.expect("at least one decider ran");
-
-            // Spot-check verification (§1.3 step 3): random x0, compare
-            // a fresh evaluation of P against Horner on the coefficients.
-            let mut rng = SplitMix64::new(self.config.seed ^ q);
-            for _ in 0..self.config.verification_trials {
-                let x0 = field.sample(&mut rng);
-                report.verification_evaluations += 1;
-                if evaluator.eval(x0) != proof.eval(x0) {
-                    return Err(CamelotError::VerificationFailed { modulus: q });
-                }
-            }
-            proofs.push(proof);
         }
 
-        let certificate = Certificate {
-            proofs: proofs.clone(),
-            code_length: e,
-            degree_bound: spec.degree_bound,
-            identified_faulty_nodes: faulty.into_iter().collect(),
-            crashed_nodes: crashed.into_iter().collect(),
-        };
-        let output = problem.recover(&proofs)?;
-        Ok(CamelotOutcome { output, certificate, report })
+        problems
+            .iter()
+            .zip(specs)
+            .zip(accs)
+            .map(|((problem, spec), acc)| {
+                let certificate = Certificate {
+                    proofs: acc.proofs.clone(),
+                    code_length: e,
+                    degree_bound: spec.degree_bound,
+                    identified_faulty_nodes: acc.faulty.into_iter().collect(),
+                    crashed_nodes: acc.crashed.into_iter().collect(),
+                };
+                let output = problem.recover(&acc.proofs)?;
+                Ok(CamelotOutcome { output, certificate, report: acc.report })
+            })
+            .collect()
+    }
+
+    /// Decode (at every deciding node), agree, and spot-check one
+    /// problem's lane of one prime's broadcast (§1.3 steps 2–3).
+    #[allow(clippy::too_many_arguments)]
+    fn decode_and_check(
+        &self,
+        code: &RsCode,
+        field: &PrimeField,
+        broadcast: &Broadcast,
+        degree_bound: usize,
+        honest: &[usize],
+        evaluator: &dyn Evaluate,
+        acc: &mut ProblemAcc,
+    ) -> Result<PrimeProof, CamelotError> {
+        let q = field.modulus();
+        // Every deciding node runs the Gao decoder on its own view.
+        let deciders: &[usize] =
+            if self.config.decode_at_all_nodes { honest } else { &honest[..1] };
+        let mut agreed: Option<PrimeProof> = None;
+        for &node in deciders {
+            let view = broadcast.view_for(node);
+            let decoded = code
+                .decode(field, &view, degree_bound)
+                .map_err(|source| CamelotError::DecodeFailed { modulus: q, node, source })?;
+            for &pos in &decoded.error_positions {
+                acc.faulty.insert(broadcast.assignment[pos]);
+            }
+            for &pos in &decoded.erasure_positions {
+                acc.crashed.insert(broadcast.assignment[pos]);
+            }
+            let proof = PrimeProof { modulus: q, coefficients: decoded.poly.into_coeffs() };
+            match &agreed {
+                None => agreed = Some(proof),
+                Some(prev) if *prev != proof => {
+                    return Err(CamelotError::DecodeDisagreement { modulus: q })
+                }
+                Some(_) => {}
+            }
+        }
+        let proof = agreed.expect("at least one decider ran");
+
+        // Spot-check verification (§1.3 step 3): random x0, compare
+        // a fresh evaluation of P against Horner on the coefficients.
+        let mut rng = SplitMix64::new(self.config.seed ^ q);
+        for _ in 0..self.config.verification_trials {
+            let x0 = field.sample(&mut rng);
+            acc.report.verification_evaluations += 1;
+            if evaluator.eval(x0) != proof.eval(x0) {
+                return Err(CamelotError::VerificationFailed { modulus: q });
+            }
+        }
+        Ok(proof)
+    }
+}
+
+/// Per-problem accumulator across the shared rounds.
+struct ProblemAcc {
+    proofs: Vec<PrimeProof>,
+    faulty: BTreeSet<usize>,
+    crashed: BTreeSet<usize>,
+    report: RunReport,
+}
+
+/// One prime's round for a slate of problems: polynomial `i` of the
+/// round is problem `i`'s proof polynomial mod `q`.
+struct ProblemRound<'a> {
+    evaluators: &'a [Box<dyn Evaluate + 'a>],
+}
+
+impl RoundEval for ProblemRound<'_> {
+    fn width(&self) -> usize {
+        self.evaluators.len()
+    }
+
+    fn eval(&self, poly: usize, x: u64) -> u64 {
+        self.evaluators[poly].eval(x)
+    }
+
+    fn programs(&self) -> Option<Vec<EvalProgram>> {
+        self.evaluators.iter().map(|e| e.program()).collect()
     }
 }
 

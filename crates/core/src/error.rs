@@ -44,6 +44,13 @@ pub enum CamelotError {
         /// Human-readable description.
         reason: String,
     },
+    /// The broadcast transport failed to complete a round (a
+    /// process-spanning backend asked to ship closures, a worker died,
+    /// an I/O or protocol failure).
+    TransportFailed {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CamelotError {
@@ -61,6 +68,7 @@ impl std::fmt::Display for CamelotError {
             CamelotError::MalformedProof { reason } => write!(f, "malformed proof: {reason}"),
             CamelotError::RecoveryFailed { reason } => write!(f, "recovery failed: {reason}"),
             CamelotError::BadConfiguration { reason } => write!(f, "bad configuration: {reason}"),
+            CamelotError::TransportFailed { reason } => write!(f, "transport failed: {reason}"),
         }
     }
 }

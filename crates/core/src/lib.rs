@@ -34,3 +34,8 @@ pub use error::CamelotError;
 pub use merlin::{arthur_verify, merlin_prove};
 pub use problem::{CamelotProblem, Evaluate, PrimeProof, ProofSpec};
 pub use verify::{soundness_error, spot_check, VerifyReport};
+
+// Transport-facing vocabulary, re-exported so problem implementers can
+// offer wire-expressible evaluators ([`Evaluate::program`]) and engine
+// users can pick a broadcast backend without naming `camelot-cluster`.
+pub use camelot_cluster::{Backend, EvalProgram, WorkerMode};

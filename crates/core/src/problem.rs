@@ -46,6 +46,17 @@ impl ProofSpec {
 pub trait Evaluate: Sync {
     /// Computes `P(x0) mod q`.
     fn eval(&self, x0: u64) -> u64;
+
+    /// A wire-expressible description of this oracle, when one exists
+    /// ([`camelot_cluster::EvalProgram`]): what a process-spanning
+    /// broadcast backend ships to its `camelot-node` workers so each
+    /// reconstructs the evaluation from the task message alone. The
+    /// default `None` restricts rounds to in-process backends — most
+    /// proof polynomials are exactly what the cluster is computing, so
+    /// no coordinator could serialize them upfront.
+    fn program(&self) -> Option<camelot_cluster::EvalProgram> {
+        None
+    }
 }
 
 impl<F: Fn(u64) -> u64 + Sync> Evaluate for F {

@@ -35,5 +35,8 @@ mod ntt;
 
 pub use dense::Poly;
 pub use interp::{eval_many, interpolate, interpolate_consecutive, lagrange_basis_at};
-pub use multipoint::{cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly};
+pub use multipoint::{
+    cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, PointTree,
+    TREE_CACHE_CROSSOVER,
+};
 pub use ntt::NttPlan;

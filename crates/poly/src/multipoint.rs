@@ -286,45 +286,263 @@ impl SubproductTree {
         let hi = (((idx + 1) << level) * LEAF_SIZE).min(self.points.len());
         hi - lo
     }
+}
+
+/// Point count at or above which a consumer holding a point set for
+/// repeated use (e.g. a Reed–Solomon code) should build and keep a
+/// [`PointTree`]: the tree is being built for the vanishing polynomial
+/// anyway past this size, so caching it is free.
+pub const TREE_CACHE_CROSSOVER: usize = VANISH_CROSSOVER;
+
+/// A reusable subproduct tree over a fixed point set, with memoized
+/// per-node inverse series (the Newton-division scaffolding of every
+/// tree descent) and Lagrange weights. Callers that evaluate or
+/// interpolate over the *same* points repeatedly — a Reed–Solomon code
+/// encodes, re-encodes, and interpolates per decode, at every deciding
+/// node — pay the tree construction once instead of per call.
+///
+/// All entry points apply exactly the crossover dispatch of
+/// [`eval_many_fast`] / [`interpolate_fast`] and return bit-identical
+/// results; the cache only removes rebuilding.
+pub struct PointTree {
+    ctx: MulContext,
+    tree: SubproductTree,
+    /// Per `(level, idx)` memo of the inverse series of the node
+    /// polynomial reversed, to the maximum precision any descent
+    /// division against the node can need (its sibling's degree).
+    inv: Vec<Vec<OnceLock<Poly>>>,
+    /// Inverted Lagrange denominators `1 / M'(x_i)`.
+    weights: OnceLock<Vec<u64>>,
+}
+
+impl std::fmt::Debug for PointTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PointTree({} points mod {})", self.len(), self.ctx.field.modulus())
+    }
+}
+
+impl PointTree {
+    /// Builds the tree over `points` (reduced mod `q`; need not be
+    /// distinct — interpolation will reject duplicates, evaluation does
+    /// not care).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn new(field: &PrimeField, points: &[u64]) -> Self {
+        let reduced: Vec<u64> = points.iter().map(|&x| field.reduce(x)).collect();
+        let ctx = MulContext::new(field, reduced.len() + 1);
+        Self::with_ctx(ctx, reduced)
+    }
+
+    /// Builds over already-reduced points with a caller-supplied
+    /// multiplication strategy.
+    fn with_ctx(ctx: MulContext, reduced: Vec<u64>) -> Self {
+        let tree = SubproductTree::build(&ctx, &reduced);
+        let inv = tree
+            .levels
+            .iter()
+            .map(|level| level.iter().map(|_| OnceLock::new()).collect())
+            .collect();
+        PointTree { ctx, tree, inv, weights: OnceLock::new() }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tree.points.len()
+    }
+
+    /// True when the tree holds no points (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tree.points.is_empty()
+    }
+
+    /// The (reduced) points.
+    #[must_use]
+    pub fn points(&self) -> &[u64] {
+        &self.tree.points
+    }
+
+    /// The modulus the tree was built over.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.ctx.field.modulus()
+    }
+
+    /// The vanishing polynomial `Π_i (x - x_i)` (the tree root).
+    #[must_use]
+    pub fn vanishing(&self) -> &Poly {
+        self.tree.root()
+    }
+
+    /// Evaluates `poly` at every point — identical dispatch and output
+    /// to [`eval_many_fast`], reusing the cached tree when the tree
+    /// path engages.
+    #[must_use]
+    pub fn eval_many(&self, poly: &Poly) -> Vec<u64> {
+        let n = self.len();
+        let lg = ceil_log2(n.max(2)) as usize;
+        if n < EVAL_MIN_POINTS
+            || poly.coeffs().len() < EVAL_DEGREE_FACTOR * lg * lg
+            || !tree_pays_off(&self.ctx, n, EVAL_MIN_POINTS)
+        {
+            return eval_many(&self.ctx.field, poly, self.points());
+        }
+        self.eval_core(poly)
+    }
+
+    /// Interpolates the unique polynomial of degree `< n` with
+    /// `value[i]` at point `i` — identical dispatch and output to
+    /// [`interpolate_fast`], reusing the cached tree and Lagrange
+    /// weights when the tree path engages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not point-count-sized or two points share
+    /// an abscissa (mod `q`).
+    #[must_use]
+    pub fn interpolate(&self, values: &[u64]) -> Poly {
+        assert_eq!(values.len(), self.len(), "one value per point");
+        let n = self.len();
+        if n < INTERP_CROSSOVER_NTT || !tree_pays_off(&self.ctx, n, INTERP_CROSSOVER_NTT) {
+            let pts: Vec<(u64, u64)> =
+                self.points().iter().copied().zip(values.iter().copied()).collect();
+            return interpolate(&self.ctx.field, &pts);
+        }
+        self.interpolate_core(values)
+    }
+
+    /// The tree descent without crossover dispatch.
+    fn eval_core(&self, poly: &Poly) -> Vec<u64> {
+        let n = self.len();
+        // Reduce once modulo the vanishing polynomial; a no-op whenever
+        // deg poly < n (always true for Reed–Solomon encoding).
+        let rem = if poly.degree().is_some_and(|d| d >= n) {
+            div_rem_ctx(&self.ctx, poly, self.tree.root()).1
+        } else {
+            poly.clone()
+        };
+        let mut out = Vec::with_capacity(n);
+        self.eval_down(&rem, self.tree.top_level(), 0, &mut out);
+        out
+    }
+
+    /// Tree interpolation without crossover dispatch.
+    fn interpolate_core(&self, values: &[u64]) -> Poly {
+        let field = &self.ctx.field;
+        let weights = self.lagrange_weights();
+        let c: Vec<u64> =
+            values.iter().zip(weights).map(|(&y, &w)| field.mul(field.reduce(y), w)).collect();
+        self.combine_up(&c, self.tree.top_level(), 0)
+    }
+
+    /// `1 / M'(x_i)` per point, computed once per tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two points coincide (a Lagrange denominator vanishes).
+    fn lagrange_weights(&self) -> &[u64] {
+        self.weights.get_or_init(|| {
+            let field = &self.ctx.field;
+            // M' has degree n - 1 < n, so it is already reduced modulo
+            // the root and descends directly.
+            let m_prime = self.tree.root().derivative(field);
+            let mut weights = Vec::with_capacity(self.len());
+            self.eval_down(&m_prime, self.tree.top_level(), 0, &mut weights);
+            assert!(
+                weights.iter().all(|&w| w != 0),
+                "interpolation points must be distinct (mod q)"
+            );
+            field.inv_batch(&mut weights);
+            weights
+        })
+    }
+
+    /// The maximum quotient length any in-tree division against node
+    /// `(level, idx)` can need: descents divide a remainder of degree
+    /// below the parent's, so the quotient length is bounded by the
+    /// sibling's degree. Zero when the node has no sibling (carried-up
+    /// odd nodes are never divisors).
+    fn max_quotient_len(&self, level: usize, idx: usize) -> usize {
+        let sibling = idx ^ 1;
+        match self.tree.levels[level].get(sibling) {
+            Some(poly) => poly.degree().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// The inverse series of the reversed node polynomial, memoized at
+    /// the node's maximum useful precision.
+    fn node_inv(&self, level: usize, idx: usize) -> &Poly {
+        self.inv[level][idx].get_or_init(|| {
+            let b = &self.tree.levels[level][idx];
+            let db = b.degree().expect("tree node polynomials are nonzero");
+            inv_series(&self.ctx, &b.reversed(db + 1), self.max_quotient_len(level, idx))
+        })
+    }
+
+    /// Euclidean division of `a` by tree node `(level, idx)`, through
+    /// the memoized inverse series when Newton division engages.
+    /// Bit-identical to [`div_rem_ctx`] (the inverse series mod `x^k`
+    /// is unique, so a truncated longer series is the series).
+    fn div_rem_node(&self, a: &Poly, level: usize, idx: usize) -> (Poly, Poly) {
+        let b = &self.tree.levels[level][idx];
+        let db = b.degree().expect("tree node polynomials are nonzero");
+        let Some(da) = a.degree() else {
+            return (Poly::zero(), Poly::zero());
+        };
+        if da < db {
+            return (Poly::zero(), a.clone());
+        }
+        if b.coeffs().len() < FAST_DIV_THRESHOLD {
+            return a.div_rem(&self.ctx.field, b);
+        }
+        let n_q = da - db + 1;
+        if n_q > self.max_quotient_len(level, idx) {
+            return div_rem_ctx(&self.ctx, a, b);
+        }
+        let inv_rb = self.node_inv(level, idx).truncated(n_q);
+        let ra = a.reversed(da + 1).truncated(n_q);
+        let q = self.ctx.mul(&ra, &inv_rb).truncated(n_q).reversed(n_q);
+        let r = a.sub(&self.ctx.field, &self.ctx.mul(&q, b));
+        debug_assert!(r.degree().is_none_or(|dr| dr < db), "cached division remainder too large");
+        (q, r)
+    }
 
     /// Pushes `rem(x_i)` for every point below node `(level, idx)`, in
     /// point order. `rem` must already be reduced modulo the node's
     /// polynomial.
-    fn eval_down(
-        &self,
-        ctx: &MulContext,
-        rem: &Poly,
-        level: usize,
-        idx: usize,
-        out: &mut Vec<u64>,
-    ) {
+    fn eval_down(&self, rem: &Poly, level: usize, idx: usize, out: &mut Vec<u64>) {
         if level == 0 {
-            for &x in self.leaf_points(idx) {
-                out.push(rem.eval(&ctx.field, x));
+            for &x in self.tree.leaf_points(idx) {
+                out.push(rem.eval(&self.ctx.field, x));
             }
             return;
         }
         let child = level - 1;
         let (li, ri) = (2 * idx, 2 * idx + 1);
-        if ri >= self.levels[child].len() {
-            self.eval_down(ctx, rem, child, li, out);
+        if ri >= self.tree.levels[child].len() {
+            self.eval_down(rem, child, li, out);
             return;
         }
-        let (_, rl) = div_rem_ctx(ctx, rem, &self.levels[child][li]);
-        let (_, rr) = div_rem_ctx(ctx, rem, &self.levels[child][ri]);
-        self.eval_down(ctx, &rl, child, li, out);
-        self.eval_down(ctx, &rr, child, ri, out);
+        let (_, rl) = self.div_rem_node(rem, child, li);
+        let (_, rr) = self.div_rem_node(rem, child, ri);
+        self.eval_down(&rl, child, li, out);
+        self.eval_down(&rr, child, ri, out);
     }
 
     /// The linear combination `Σ_i c_i · Π_{j≠i} (x - x_j)` over the
     /// points below node `(level, idx)`, where `c` covers exactly those
     /// points — the combination step of fast Lagrange interpolation.
-    fn combine_up(&self, ctx: &MulContext, c: &[u64], level: usize, idx: usize) -> Poly {
-        let field = &ctx.field;
+    fn combine_up(&self, c: &[u64], level: usize, idx: usize) -> Poly {
+        let field = &self.ctx.field;
         if level == 0 {
-            let leaf = &self.levels[0][idx];
+            let leaf = &self.tree.levels[0][idx];
             let mut acc = Poly::zero();
-            for (i, &xi) in self.leaf_points(idx).iter().enumerate() {
+            for (i, &xi) in self.tree.leaf_points(idx).iter().enumerate() {
                 let partial = synthetic_div_linear(field, leaf, xi).scale(field, c[i]);
                 acc = acc.add(field, &partial);
             }
@@ -332,14 +550,15 @@ impl SubproductTree {
         }
         let child = level - 1;
         let (li, ri) = (2 * idx, 2 * idx + 1);
-        if ri >= self.levels[child].len() {
-            return self.combine_up(ctx, c, child, li);
+        if ri >= self.tree.levels[child].len() {
+            return self.combine_up(c, child, li);
         }
-        let (cl, cr) = c.split_at(self.count_points(child, li));
-        let left = self.combine_up(ctx, cl, child, li);
-        let right = self.combine_up(ctx, cr, child, ri);
-        ctx.mul(&left, &self.levels[child][ri])
-            .add(field, &ctx.mul(&right, &self.levels[child][li]))
+        let (cl, cr) = c.split_at(self.tree.count_points(child, li));
+        let left = self.combine_up(cl, child, li);
+        let right = self.combine_up(cr, child, ri);
+        self.ctx
+            .mul(&left, &self.tree.levels[child][ri])
+            .add(field, &self.ctx.mul(&right, &self.tree.levels[child][li]))
     }
 }
 
@@ -355,41 +574,20 @@ fn tree_pays_off(ctx: &MulContext, n: usize, ntt_crossover: usize) -> bool {
 }
 
 /// Subproduct-tree evaluation with no crossover dispatch (testable
-/// directly at any size).
+/// directly at any size); builds a transient [`PointTree`].
 fn eval_many_tree(ctx: &MulContext, poly: &Poly, xs: &[u64]) -> Vec<u64> {
     let field = &ctx.field;
-    let n = xs.len();
     let reduced: Vec<u64> = xs.iter().map(|&x| field.reduce(x)).collect();
-    let tree = SubproductTree::build(ctx, &reduced);
-    // Reduce once modulo the vanishing polynomial; a no-op whenever
-    // deg poly < n (always true for Reed–Solomon encoding).
-    let rem = if poly.degree().is_some_and(|d| d >= n) {
-        div_rem_ctx(ctx, poly, tree.root()).1
-    } else {
-        poly.clone()
-    };
-    let mut out = Vec::with_capacity(n);
-    tree.eval_down(ctx, &rem, tree.top_level(), 0, &mut out);
-    out
+    PointTree::with_ctx(ctx.clone(), reduced).eval_core(poly)
 }
 
 /// Subproduct-tree interpolation with no crossover dispatch (testable
-/// directly at any size).
+/// directly at any size); builds a transient [`PointTree`].
 fn interpolate_tree(ctx: &MulContext, points: &[(u64, u64)]) -> Poly {
     let field = &ctx.field;
-    let n = points.len();
     let xs: Vec<u64> = points.iter().map(|&(x, _)| field.reduce(x)).collect();
-    let tree = SubproductTree::build(ctx, &xs);
-    // Lagrange weights 1 / M'(x_i): M' has degree n - 1 < n, so it is
-    // already reduced modulo the root and descends directly.
-    let m_prime = tree.root().derivative(field);
-    let mut weights = Vec::with_capacity(n);
-    tree.eval_down(ctx, &m_prime, tree.top_level(), 0, &mut weights);
-    assert!(weights.iter().all(|&w| w != 0), "interpolation points must be distinct (mod q)");
-    field.inv_batch(&mut weights);
-    let c: Vec<u64> =
-        points.iter().zip(&weights).map(|(&(_, y), &w)| field.mul(field.reduce(y), w)).collect();
-    tree.combine_up(ctx, &c, tree.top_level(), 0)
+    let ys: Vec<u64> = points.iter().map(|&(_, y)| y).collect();
+    PointTree::with_ctx(ctx.clone(), xs).interpolate_core(&ys)
 }
 
 /// Evaluates `poly` at each point in `O(M(n) log n)` via a subproduct
@@ -631,6 +829,60 @@ mod tests {
         pts[77] = (5, 99); // duplicate abscissa 5
         let ctx = MulContext::new(&field, pts.len() + 1);
         let _ = interpolate_tree(&ctx, &pts);
+    }
+
+    /// A kept [`PointTree`] must return the oracle answers on repeated
+    /// evaluation and interpolation calls — the warm inverse-series and
+    /// weight caches change nothing but the rebuild cost.
+    #[test]
+    fn point_tree_reuse_is_stable_and_matches_oracles() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(31);
+            let n = 300;
+            let xs = distinct_points(&field, n, &mut rng);
+            let tree = PointTree::new(&field, &xs);
+            assert_eq!(tree.len(), n);
+            assert_eq!(tree.vanishing(), &vanishing_poly(&field, &xs));
+            for deg in [40usize, 299, 500] {
+                let poly = random_poly(&field, deg, &mut rng);
+                let expect = eval_many(&field, &poly, &xs);
+                // Twice: the second call runs on warm caches.
+                assert_eq!(tree.eval_core(&poly), expect, "deg {deg} cold");
+                assert_eq!(tree.eval_core(&poly), expect, "deg {deg} warm");
+            }
+            for trial in 0..2 {
+                let ys: Vec<u64> = (0..n).map(|_| field.sample(&mut rng)).collect();
+                let pts: Vec<(u64, u64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+                assert_eq!(tree.interpolate_core(&ys), interpolate(&field, &pts), "trial {trial}");
+            }
+        }
+    }
+
+    /// The gated public entry points must agree with the free-function
+    /// dispatch on both sides of the crossovers.
+    #[test]
+    fn point_tree_dispatch_matches_free_functions() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(32);
+        for (deg, n) in [(300usize, 400usize), (2100, 2150)] {
+            let xs: Vec<u64> = (0..n as u64).collect();
+            let tree = PointTree::new(&field, &xs);
+            let poly = random_poly(&field, deg, &mut rng);
+            assert_eq!(tree.eval_many(&poly), eval_many_fast(&field, &poly, &xs), "eval n={n}");
+            let ys: Vec<u64> = (0..n).map(|_| field.sample(&mut rng)).collect();
+            let pts: Vec<(u64, u64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            assert_eq!(tree.interpolate(&ys), interpolate_fast(&field, &pts), "interp n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn point_tree_interpolation_rejects_repeated_nodes() {
+        let field = ntt_field();
+        let mut xs: Vec<u64> = (0..100).collect();
+        xs[77] = 5; // duplicate abscissa 5
+        let tree = PointTree::new(&field, &xs);
+        let _ = tree.interpolate_core(&vec![1u64; 100]);
     }
 
     #[test]

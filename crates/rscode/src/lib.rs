@@ -40,11 +40,15 @@
 #![warn(missing_docs)]
 
 use camelot_ff::PrimeField;
-use camelot_poly::{cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, Poly};
+use camelot_poly::{
+    cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, PointTree, Poly,
+    TREE_CACHE_CROSSOVER,
+};
+use std::sync::Arc;
 
 /// A nonsystematic Reed–Solomon code: `e` distinct evaluation points in
 /// `Z_q`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct RsCode {
     points: Vec<u64>,
     /// `G_0(x) = Π_i (x - x_i)`, precomputed for decoding.
@@ -53,7 +57,23 @@ pub struct RsCode {
     /// powers of a primitive `2^k`-th root of unity, stored as
     /// `(k, root)`, making encoding a single forward NTT.
     ntt: Option<(u32, u64)>,
+    /// Cached subproduct tree over the full point set (with memoized
+    /// node inverse series and Lagrange weights), built once past the
+    /// crossover where the vanishing polynomial builds one anyway.
+    /// `encode` and `decode`'s interpolation/re-encode reuse it instead
+    /// of rebuilding an identical tree per call; erasure subsets still
+    /// rebuild (their point sets vary).
+    tree: Option<Arc<PointTree>>,
 }
+
+impl PartialEq for RsCode {
+    fn eq(&self, other: &Self) -> bool {
+        // `g0` and the cached tree are derived from the points.
+        self.points == other.points && self.ntt == other.ntt
+    }
+}
+
+impl Eq for RsCode {}
 
 /// Successful decode: the recovered message polynomial and the identified
 /// corruption pattern.
@@ -144,8 +164,13 @@ impl RsCode {
             },
             "evaluation points must be distinct"
         );
-        let g0 = vanishing_poly(field, &points);
-        RsCode { points, g0, ntt: None }
+        let (g0, tree) = if points.len() >= TREE_CACHE_CROSSOVER {
+            let tree = Arc::new(PointTree::new(field, &points));
+            (tree.vanishing().clone(), Some(tree))
+        } else {
+            (vanishing_poly(field, &points), None)
+        };
+        RsCode { points, g0, ntt: None, tree }
     }
 
     /// Code over the first `e` powers `ω^0, …, ω^{e-1}` of a primitive
@@ -174,16 +199,21 @@ impl RsCode {
             x = field.mul(x, w);
         }
         // The ω^i are distinct (ω has order 2^k >= e), and the vanishing
-        // polynomial of the full orbit is x^{2^k} - 1.
-        let g0 = if e == plan.len() {
+        // polynomial of the full orbit is x^{2^k} - 1. A partial orbit
+        // interpolates through the general tree path, so cache the tree
+        // for it; a full orbit runs on NTTs alone.
+        let (g0, tree) = if e == plan.len() {
             let mut coeffs = vec![0u64; e + 1];
             coeffs[0] = field.neg(1);
             coeffs[e] = 1;
-            Poly::from_reduced(coeffs)
+            (Poly::from_reduced(coeffs), None)
+        } else if e >= TREE_CACHE_CROSSOVER {
+            let tree = Arc::new(PointTree::new(field, &points));
+            (tree.vanishing().clone(), Some(tree))
         } else {
-            vanishing_poly(field, &points)
+            (vanishing_poly(field, &points), None)
         };
-        Some(RsCode { points, g0, ntt: Some((k, w)) })
+        Some(RsCode { points, g0, ntt: Some((k, w)), tree })
     }
 
     /// Code length `e`.
@@ -239,6 +269,12 @@ impl RsCode {
                 plan.forward(&mut values);
                 values.truncate(self.points.len());
                 return values;
+            }
+        }
+        if let Some(tree) = &self.tree {
+            if message.coeffs().len() <= self.points.len() {
+                debug_assert_eq!(tree.modulus(), field.modulus(), "code built over another field");
+                return tree.eval_many(message);
             }
         }
         eval_many_fast(field, message, &self.points)
@@ -301,6 +337,10 @@ impl RsCode {
             let mut values = rs.clone();
             plan.inverse(&mut values);
             Poly::from_reduced(values)
+        } else if let (true, Some(tree)) = (erasure_positions.is_empty(), &self.tree) {
+            // Full word received: interpolate on the cached tree (warm
+            // Lagrange weights after the first decode).
+            tree.interpolate(&rs)
         } else {
             let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
             interpolate_fast(field, &pts)
@@ -599,6 +639,35 @@ mod tests {
             assert_eq!(out.error_positions, vec![10, 200]);
             assert_eq!(out.erasure_positions, vec![3, 77]);
         }
+    }
+
+    /// Past the tree-cache crossover the code keeps its subproduct
+    /// tree: repeated encodes and decodes (the `decode_at_all_nodes`
+    /// pattern — every deciding node decodes the same code) must return
+    /// identical results on warm caches, equal to a fresh code's.
+    #[test]
+    fn cached_tree_is_stable_across_repeated_encode_decode() {
+        let field = f();
+        let mut rng = SplitMix64::new(12);
+        let d = 40;
+        let e = 200; // >= TREE_CACHE_CROSSOVER: the tree is cached
+        let code = RsCode::consecutive(&field, e);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        assert_eq!(code.encode(&field, &msg), clean, "second encode on warm cache");
+        let fresh = RsCode::consecutive(&field, e);
+        assert_eq!(fresh.encode(&field, &msg), clean);
+        assert_eq!(code, fresh);
+
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        word[7] = Some(field.add(clean[7], 3));
+        word[100] = None;
+        let first = code.decode(&field, &word, d).unwrap();
+        let second = code.decode(&field, &word, d).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first.poly, msg);
+        assert_eq!(first.error_positions, vec![7]);
+        assert_eq!(first.erasure_positions, vec![100]);
     }
 
     #[test]

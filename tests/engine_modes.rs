@@ -1,9 +1,10 @@
 //! Engine-level execution-mode regressions: the threaded cluster must be
 //! observationally identical to the sequential one under fault injection,
-//! and batched runs must recover exactly what per-problem runs recover.
+//! batched runs must recover exactly what per-problem runs recover, and
+//! a batch must share one broadcast round per prime across its problems.
 
 use camelot::cluster::{FaultKind, FaultPlan};
-use camelot::core::{CamelotProblem, Engine, EngineConfig};
+use camelot::core::{Backend, CamelotProblem, Engine, EngineConfig};
 use camelot::graph::{count_triangles, gen};
 use camelot::triangles::TriangleCount;
 
@@ -61,6 +62,57 @@ fn batch_output_matches_individual_runs() {
     // The amortized setup is shared: one prime set, one code length.
     assert!(batched.windows(2).all(|w| w[0].report.primes == w[1].report.primes));
     assert!(batched.windows(2).all(|w| w[0].report.code_length == w[1].report.code_length));
+}
+
+/// The batch-shared-rounds acceptance criterion: `run_batch` performs
+/// exactly one broadcast round per prime for the whole batch (observed
+/// via the `RunReport` round counters), while still recovering outputs
+/// identical to per-problem runs.
+#[test]
+fn batch_shares_one_broadcast_round_per_prime() {
+    let graphs = [gen::gnm(10, 22, 2), gen::gnm(12, 30, 4), gen::petersen()];
+    let problems: Vec<TriangleCount> = graphs.iter().map(TriangleCount::new).collect();
+    let engine = Engine::sequential(6, 8);
+
+    let batched = engine.run_batch(&problems).expect("batch run");
+    let shared = &batched[0].report;
+    // One round per prime — for the batch, not per problem: every
+    // outcome records the same shared counters.
+    assert_eq!(shared.rounds, shared.primes.len());
+    for outcome in &batched {
+        assert_eq!(outcome.report.rounds, shared.rounds);
+        assert_eq!(outcome.report.symbols_broadcast, shared.symbols_broadcast);
+        assert_eq!(outcome.report.bytes_on_wire, shared.bytes_on_wire);
+    }
+    // The shared round carries one symbol per problem per point: on an
+    // all-honest plan that is exactly `batch size × e` per prime.
+    assert_eq!(shared.symbols_broadcast, problems.len() * shared.code_length * shared.primes.len());
+    // A solo run of the first problem over the same parameters
+    // broadcasts a third of the symbols in the same number of rounds.
+    let solo = engine.run(&problems[0]).expect("solo run");
+    assert_eq!(solo.report.rounds, solo.report.primes.len());
+    assert_eq!(solo.report.symbols_broadcast, solo.report.code_length * solo.report.primes.len());
+    assert_eq!(solo.output, batched[0].output);
+}
+
+/// The engine over the channel backend (per-node OS threads, mpsc
+/// frames only) must be observationally identical to the in-process
+/// bus, faults included.
+#[test]
+fn channel_backend_engine_matches_in_process() {
+    let g = gen::gnm(11, 26, 17);
+    let problem = TriangleCount::new(&g);
+    let budget = problem.spec().degree_bound.max(16);
+
+    let inproc = Engine::new(faulty_config(8, budget, false)).run(&problem).expect("inproc");
+    let channel_config = faulty_config(8, budget, false).with_backend(Backend::Channel);
+    let channel = Engine::new(channel_config).run(&problem).expect("channel");
+
+    assert_eq!(inproc.output, channel.output);
+    assert_eq!(inproc.certificate, channel.certificate);
+    assert_eq!(inproc.report.total_evaluations, channel.report.total_evaluations);
+    assert_eq!(inproc.report.symbols_broadcast, channel.report.symbols_broadcast);
+    assert_eq!(inproc.report.bytes_on_wire, channel.report.bytes_on_wire);
 }
 
 /// Batched runs identify faulty nodes exactly like per-problem runs.

@@ -1,0 +1,193 @@
+//! Cross-backend transport regressions: every broadcast backend must
+//! produce bit-identical rounds on the full fault matrix — honest,
+//! crash, corrupt, adversarial, equivocate — and the engine must run
+//! end to end on each of them.
+
+use camelot::cluster::{
+    ChannelTransport, EvalProgram, FaultKind, FaultPlan, InProcess, ProgramEval, RoundSpec,
+    SocketTransport, Transport,
+};
+use camelot::core::{
+    Backend, CamelotError, CamelotProblem, Engine, EngineConfig, Evaluate, PrimeProof, ProofSpec,
+    WorkerMode,
+};
+use camelot::ff::{crt_u, PrimeField, Residue};
+use camelot::triangles::TriangleCount;
+
+/// One of each behaviour over 10 nodes — the full fault matrix.
+fn full_matrix_plan(nodes: usize) -> FaultPlan {
+    FaultPlan::with_faults(
+        nodes,
+        &[
+            (1, FaultKind::Crash),
+            (3, FaultKind::Corrupt { seed: 21 }),
+            (5, FaultKind::Adversarial { offset: 9 }),
+            (7, FaultKind::Equivocate { seed: 33 }),
+        ],
+    )
+}
+
+fn all_backends() -> Vec<(&'static str, Box<dyn Transport>)> {
+    vec![
+        ("inproc", Box::new(InProcess::new(false))),
+        ("inproc-par", Box::new(InProcess::new(true))),
+        ("channel", Box::new(ChannelTransport::new())),
+        ("socket", Box::new(SocketTransport::loopback())),
+    ]
+}
+
+/// The acceptance criterion of the transport refactor: all backends,
+/// same multi-polynomial round, bit-identical broadcasts — consensus
+/// word, assignment, every receiver's view, and traffic accounting.
+#[test]
+fn all_backends_produce_bit_identical_broadcasts() {
+    let nodes = 10;
+    let field = PrimeField::new(1_048_583).unwrap();
+    let points: Vec<u64> = (0..64).collect();
+    let plan = full_matrix_plan(nodes);
+    let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+    let eval = ProgramEval::new(
+        &field,
+        vec![EvalProgram::Poly(vec![5, 0, 3, 1]), EvalProgram::Poly(vec![1_000_000, 999])],
+    );
+
+    let reference = InProcess::new(false).run(&spec, &eval).expect("reference round");
+    for (name, transport) in all_backends() {
+        let outcome = transport.run(&spec, &eval).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(outcome.broadcasts.len(), 2, "{name}");
+        for (poly, (got, want)) in outcome.broadcasts.iter().zip(&reference.broadcasts).enumerate()
+        {
+            assert!(got.same_word(want), "{name}: polynomial {poly} word diverged");
+            for receiver in 0..nodes {
+                assert_eq!(
+                    got.view_for(receiver),
+                    want.view_for(receiver),
+                    "{name}: polynomial {poly}, receiver {receiver}"
+                );
+            }
+            let evals: Vec<usize> = got.stats.iter().map(|s| s.evaluations).collect();
+            let want_evals: Vec<usize> = want.stats.iter().map(|s| s.evaluations).collect();
+            assert_eq!(evals, want_evals, "{name}: polynomial {poly} work accounting");
+        }
+        assert_eq!(outcome.traffic, reference.traffic, "{name}: traffic accounting");
+    }
+}
+
+/// Closure rounds (no wire program) must agree across the in-process
+/// backends; the socket backend must refuse them rather than guess.
+#[test]
+fn closure_rounds_agree_where_supported() {
+    let field = PrimeField::new(1_000_003).unwrap();
+    let points: Vec<u64> = (0..40).collect();
+    let plan = full_matrix_plan(8);
+    let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+    let eval = camelot::cluster::SingleEval(|x: u64| field.mul(x, field.add(x, 3)));
+
+    let reference = InProcess::new(false).run(&spec, &eval).unwrap();
+    for transport in
+        [Box::new(InProcess::new(true)) as Box<dyn Transport>, Box::new(ChannelTransport::new())]
+    {
+        let outcome = transport.run(&spec, &eval).unwrap();
+        assert!(outcome.broadcasts[0].same_word(&reference.broadcasts[0]));
+    }
+    assert!(SocketTransport::loopback().run(&spec, &eval).is_err());
+}
+
+/// A wire-expressible problem: the proof polynomial is handed over as
+/// explicit coefficients, so socket workers can reconstruct it from the
+/// task message alone. The recovered answer is `P(0)` over the
+/// integers.
+struct WirePoly {
+    coeffs: Vec<u64>,
+}
+
+struct WirePolyEval {
+    field: PrimeField,
+    coeffs: Vec<u64>,
+}
+
+impl Evaluate for WirePolyEval {
+    fn eval(&self, x0: u64) -> u64 {
+        EvalProgram::Poly(self.coeffs.clone()).eval(&self.field, x0)
+    }
+
+    fn program(&self) -> Option<EvalProgram> {
+        Some(EvalProgram::Poly(self.coeffs.clone()))
+    }
+}
+
+impl CamelotProblem for WirePoly {
+    type Output = u128;
+
+    fn spec(&self) -> ProofSpec {
+        ProofSpec::new(self.coeffs.len() - 1, 1 << 20, 64)
+    }
+
+    fn evaluator<'a>(&'a self, field: &PrimeField) -> Box<dyn Evaluate + 'a> {
+        let coeffs = self.coeffs.iter().map(|&c| field.reduce(c)).collect();
+        Box::new(WirePolyEval { field: *field, coeffs })
+    }
+
+    fn recover(&self, proofs: &[PrimeProof]) -> Result<u128, CamelotError> {
+        let residues: Vec<Residue> =
+            proofs.iter().map(|p| Residue { modulus: p.modulus, value: p.eval(0) }).collect();
+        crt_u(&residues)
+            .to_u128()
+            .ok_or_else(|| CamelotError::RecoveryFailed { reason: "value exceeded u128".into() })
+    }
+}
+
+/// The engine pipeline — prepare, decode at all nodes, spot-check,
+/// recover — must produce identical outcomes on every backend,
+/// including real loopback sockets, under the full fault matrix.
+#[test]
+fn engine_outcomes_are_identical_across_backends() {
+    let problem = WirePoly { coeffs: vec![123_456_789, 7, 0, 5] };
+    // One point per node: 4 faulty nodes = 2 errors + 1 erasure + 1
+    // equivocated error per view, well within f = 6.
+    let d = problem.spec().degree_bound;
+    let budget = 6;
+    let nodes = d + 1 + 2 * budget;
+
+    let outcome_for = |backend: Backend| {
+        let config = EngineConfig::sequential(nodes, budget)
+            .with_plan(full_matrix_plan(nodes))
+            .with_full_decoding()
+            .with_backend(backend);
+        Engine::new(config).run(&problem).expect("run must tolerate the fault matrix")
+    };
+
+    let reference = outcome_for(Backend::InProcess);
+    assert_eq!(reference.output, 123_456_789);
+    assert_eq!(reference.certificate.identified_faulty_nodes, vec![3, 5, 7]);
+    assert_eq!(reference.certificate.crashed_nodes, vec![1]);
+    assert_eq!(reference.report.rounds, reference.report.primes.len());
+    assert!(reference.report.symbols_broadcast > 0);
+    assert!(reference.report.bytes_on_wire > 0);
+
+    for backend in [Backend::Channel, Backend::Socket(WorkerMode::Threads)] {
+        let outcome = outcome_for(backend.clone());
+        assert_eq!(outcome.output, reference.output, "{backend:?}");
+        assert_eq!(outcome.certificate, reference.certificate, "{backend:?}");
+        assert_eq!(
+            outcome.report.symbols_broadcast, reference.report.symbols_broadcast,
+            "{backend:?}"
+        );
+        assert_eq!(outcome.report.bytes_on_wire, reference.report.bytes_on_wire, "{backend:?}");
+    }
+}
+
+/// Problems whose evaluators are opaque closures cannot run on the
+/// socket backend — the engine must say so, not hang or mis-evaluate.
+#[test]
+fn socket_engine_rejects_closure_problems() {
+    let g = camelot::graph::gen::petersen();
+    let problem = TriangleCount::new(&g);
+    let config = EngineConfig::sequential(4, 2).with_backend(Backend::Socket(WorkerMode::Threads));
+    match Engine::new(config).run(&problem) {
+        Err(CamelotError::TransportFailed { reason }) => {
+            assert!(reason.contains("wire-expressible"), "unexpected reason: {reason}");
+        }
+        other => panic!("expected TransportFailed, got {other:?}"),
+    }
+}

@@ -1,0 +1,249 @@
+//! Property tests for the text formats: the certificate wire format and
+//! the transport frame format must parse arbitrary and adversarially
+//! mutated input to *errors* — never panic — and must round-trip every
+//! well-formed message exactly.
+
+use camelot::cluster::{
+    encode_reply, parse_reply, EvalProgram, FaultKind, FrameBody, NodeFrames, Task,
+};
+use camelot::core::{Certificate, PrimeProof};
+use camelot::ff::{RngLike, SplitMix64};
+use std::time::Duration;
+
+/// A pseudo-random structural mutation: truncate, splice a byte,
+/// duplicate or drop a line, or swap a token for garbage.
+fn mutate(text: &str, rng: &mut SplitMix64) -> String {
+    let mut s = text.to_string();
+    match rng.next_u64() % 5 {
+        0 => {
+            // Truncate anywhere (on a char boundary).
+            let cut = (rng.next_u64() as usize) % (s.len() + 1);
+            while !s.is_char_boundary(cut.min(s.len())) {
+                s.pop();
+            }
+            s.truncate(cut.min(s.len()));
+        }
+        1 => {
+            // Overwrite one byte with printable garbage.
+            if !s.is_empty() {
+                let pos = (rng.next_u64() as usize) % s.len();
+                if s.is_char_boundary(pos) && s.is_char_boundary(pos + 1) {
+                    let garbage = (b'!' + (rng.next_u64() % 90) as u8) as char;
+                    s.replace_range(pos..pos + 1, &garbage.to_string());
+                }
+            }
+        }
+        2 => {
+            // Drop a line.
+            let lines: Vec<&str> = s.lines().collect();
+            if !lines.is_empty() {
+                let drop = (rng.next_u64() as usize) % lines.len();
+                s = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, l)| format!("{l}\n"))
+                    .collect();
+            }
+        }
+        3 => {
+            // Duplicate a line.
+            let lines: Vec<&str> = s.lines().collect();
+            if !lines.is_empty() {
+                let dup = (rng.next_u64() as usize) % lines.len();
+                s = lines
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, l)| {
+                        if i == dup {
+                            vec![format!("{l}\n"), format!("{l}\n")]
+                        } else {
+                            vec![format!("{l}\n")]
+                        }
+                    })
+                    .collect();
+            }
+        }
+        _ => {
+            // Replace a whitespace-separated token with a non-numeric one.
+            let tokens: Vec<&str> = s.split_whitespace().collect();
+            if !tokens.is_empty() {
+                let victim = tokens[(rng.next_u64() as usize) % tokens.len()];
+                s = s.replacen(victim, "∞garbage", 1);
+            }
+        }
+    }
+    s
+}
+
+fn random_ascii(rng: &mut SplitMix64, len: usize) -> String {
+    (0..len)
+        .map(|_| match rng.next_u64() % 8 {
+            0 => '\n',
+            1 => ' ',
+            2 => '-',
+            _ => (b' ' + (rng.next_u64() % 95) as u8) as char,
+        })
+        .collect()
+}
+
+fn sample_certificate() -> Certificate {
+    Certificate {
+        proofs: vec![
+            PrimeProof { modulus: 1_048_583, coefficients: vec![17, 0, 99, 1_000_000] },
+            PrimeProof { modulus: 1_048_589, coefficients: vec![3] },
+        ],
+        code_length: 21,
+        degree_bound: 3,
+        identified_faulty_nodes: vec![2, 9],
+        crashed_nodes: vec![4],
+    }
+}
+
+fn sample_task() -> Task {
+    Task {
+        modulus: 1_048_583,
+        nodes: 6,
+        node: 4,
+        fault: FaultKind::Corrupt { seed: 77 },
+        programs: vec![EvalProgram::Poly(vec![1, 2, 3]), EvalProgram::Poly(vec![0, 0, 9])],
+        lo: 12,
+        points: vec![12, 13, 14],
+    }
+}
+
+fn sample_replies() -> Vec<NodeFrames> {
+    vec![
+        NodeFrames {
+            node: 0,
+            evaluations: 4,
+            elapsed: Duration::from_nanos(812),
+            body: FrameBody::Uniform(vec![Some(1), None, Some(0), Some(1_048_582)]),
+        },
+        NodeFrames {
+            node: 5,
+            evaluations: 2,
+            elapsed: Duration::ZERO,
+            body: FrameBody::PerReceiver {
+                base: vec![Some(10), Some(20)],
+                per_receiver: vec![
+                    vec![Some(11), Some(21)],
+                    vec![Some(12), None],
+                    vec![None, Some(23)],
+                ],
+            },
+        },
+    ]
+}
+
+/// 500 structural mutations of a valid certificate: every parse returns
+/// (it may legitimately succeed — a mutation can produce another valid
+/// certificate — but a success must re-serialize losslessly).
+#[test]
+fn mutated_certificates_parse_to_errors_or_valid_certificates() {
+    let wire = sample_certificate().to_wire();
+    let mut rng = SplitMix64::new(0xCE21);
+    for trial in 0..500 {
+        let mutated = mutate(&wire, &mut rng);
+        if let Ok(cert) = Certificate::from_wire(&mutated) {
+            let reparsed = Certificate::from_wire(&cert.to_wire()).unwrap_or_else(|e| {
+                panic!("trial {trial}: accepted certificate no longer parses: {e}")
+            });
+            assert_eq!(reparsed, cert, "trial {trial}");
+        }
+    }
+}
+
+/// Random ASCII soup never panics any of the three parsers.
+#[test]
+fn random_garbage_never_panics_any_parser() {
+    let mut rng = SplitMix64::new(0xDEAD);
+    for _ in 0..500 {
+        let len = (rng.next_u64() % 400) as usize;
+        let soup = random_ascii(&mut rng, len);
+        let _ = Certificate::from_wire(&soup);
+        let _ = Task::from_wire(&soup);
+        let _ = parse_reply(&soup);
+        // Headered soup exercises the section parsers, not just the
+        // header check.
+        let _ = Certificate::from_wire(&format!("camelot-certificate v1\n{soup}"));
+        let _ = Task::from_wire(&format!("camelot-task v1\n{soup}"));
+        let _ = parse_reply(&format!("camelot-reply v1\n{soup}"));
+    }
+}
+
+/// 500 structural mutations of valid frame messages: parses return
+/// errors or re-encodable values, never panic.
+#[test]
+fn mutated_frames_parse_to_errors_or_reencodable_frames() {
+    let task_wire = sample_task().to_wire();
+    let reply_wires: Vec<String> = sample_replies().iter().map(encode_reply).collect();
+    let mut rng = SplitMix64::new(0xBEEF);
+    for trial in 0..500 {
+        if let Ok(task) = Task::from_wire(&mutate(&task_wire, &mut rng)) {
+            assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task, "trial {trial}");
+        }
+        for wire in &reply_wires {
+            if let Ok(frames) = parse_reply(&mutate(wire, &mut rng)) {
+                assert_eq!(parse_reply(&encode_reply(&frames)).unwrap(), frames, "trial {trial}");
+            }
+        }
+    }
+}
+
+/// Randomized round-trip: arbitrary well-formed tasks and replies
+/// survive encode → parse exactly.
+#[test]
+fn random_frames_roundtrip_exactly() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for trial in 0..200 {
+        let nodes = 1 + (rng.next_u64() % 7) as usize;
+        let width = 1 + (rng.next_u64() % 3) as usize;
+        let fault = match rng.next_u64() % 5 {
+            0 => FaultKind::Honest,
+            1 => FaultKind::Crash,
+            2 => FaultKind::Corrupt { seed: rng.next_u64() },
+            3 => FaultKind::Adversarial { offset: rng.next_u64() },
+            _ => FaultKind::Equivocate { seed: rng.next_u64() },
+        };
+        let slice = (rng.next_u64() % 5) as usize;
+        let task = Task {
+            modulus: 2 + rng.next_u64() % (1 << 40),
+            nodes,
+            node: (rng.next_u64() as usize) % nodes,
+            fault,
+            programs: (0..width)
+                .map(|_| {
+                    EvalProgram::Poly(
+                        (0..rng.next_u64() % 6).map(|_| rng.next_u64() % (1 << 30)).collect(),
+                    )
+                })
+                .collect(),
+            lo: (rng.next_u64() % 1000) as usize,
+            points: (0..slice as u64).collect(),
+        };
+        assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task, "trial {trial}");
+
+        let symbols = slice * width;
+        let random_word = |rng: &mut SplitMix64| -> Vec<Option<u64>> {
+            (0..symbols)
+                .map(|_| (!rng.next_u64().is_multiple_of(4)).then(|| rng.next_u64() % (1 << 40)))
+                .collect()
+        };
+        let body = if matches!(fault, FaultKind::Equivocate { .. }) {
+            FrameBody::PerReceiver {
+                base: random_word(&mut rng),
+                per_receiver: (0..nodes).map(|_| random_word(&mut rng)).collect(),
+            }
+        } else {
+            FrameBody::Uniform(random_word(&mut rng))
+        };
+        let frames = NodeFrames {
+            node: task.node,
+            evaluations: symbols,
+            elapsed: Duration::from_nanos(rng.next_u64() % 1_000_000_000),
+            body,
+        };
+        assert_eq!(parse_reply(&encode_reply(&frames)).unwrap(), frames, "trial {trial}");
+    }
+}
