@@ -3,9 +3,17 @@
 //!
 //! * consecutive-point Reed–Solomon code: encode (Horner baseline vs
 //!   subproduct-tree dispatch), interpolation (Newton baseline vs tree),
-//!   full Gao decode;
+//!   full Gao decode with a per-phase breakdown;
 //! * roots-of-unity code (the engine's NTT-friendly schedule): encode
-//!   (Horner baseline vs single forward NTT) and full Gao decode.
+//!   (Horner baseline vs single forward NTT), full Gao decode with the
+//!   same breakdown, and erasure decoding cold vs warm (punctured-tree
+//!   cache);
+//! * the partial-xgcd step in isolation, classical vs half-GCD, on the
+//!   exact `(g0, g1, stop)` triple the Gao decoder feeds it.
+//!
+//! Quadratic baselines (Horner, Newton, classical xgcd) are skipped
+//! above `2^14` — their columns read `-` / `null` there — so the large
+//! decode-centric rows stay affordable.
 //!
 //! Writes `BENCH_algebra.json` (override with `--out`), the committed
 //! trajectory for the algebra hot path. Regenerate with:
@@ -14,26 +22,40 @@
 //! cargo run --release -p camelot-bench --bin bench_algebra
 //! ```
 //!
-//! Flags: `--min-log N` (default 8), `--max-log N` (default 14),
-//! `--samples N` (default 3, the timer keeps the minimum), `--out PATH`.
-//! CI smoke-runs tiny sizes: `--min-log 4 --max-log 6 --samples 1`.
+//! Flags: `--min-log N` (default 8), `--max-log N` (default 16),
+//! `--samples N` (default 3, the timer keeps the minimum), `--out PATH`,
+//! `--hgcd-crossover N` (override the half-GCD dispatch crossover; `0`
+//! forces the structured path everywhere). CI smoke-runs tiny sizes
+//! with the structured path forced on:
+//! `--min-log 4 --max-log 7 --samples 1 --hgcd-crossover 0`.
 
 use camelot_bench::{fault_every_16th, fmt_duration, random_message, Table};
 use camelot_ff::{ntt_prime, PrimeField, SplitMix64};
-use camelot_poly::{eval_many, interpolate, interpolate_fast};
-use camelot_rscode::RsCode;
+use camelot_poly::{eval_many, interpolate, interpolate_fast, set_hgcd_crossover, vanishing_poly};
+use camelot_rscode::{DecodeProfile, RsCode};
 use std::time::{Duration, Instant};
+
+/// Largest `log2(len)` at which the quadratic baselines (Horner encode,
+/// Newton interpolation, classical partial xgcd) still run; above this
+/// only the quasi-linear paths are measured.
+const NAIVE_MAX_LOG: u32 = 14;
 
 struct Args {
     min_log: u32,
     max_log: u32,
     samples: usize,
     out: String,
+    hgcd_crossover: Option<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { min_log: 8, max_log: 14, samples: 3, out: "BENCH_algebra.json".to_string() };
+    let mut args = Args {
+        min_log: 8,
+        max_log: 16,
+        samples: 3,
+        out: "BENCH_algebra.json".to_string(),
+        hgcd_crossover: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = || it.next().unwrap_or_else(|| panic!("missing value for {flag}"));
@@ -42,7 +64,14 @@ fn parse_args() -> Args {
             "--max-log" => args.max_log = value().parse().expect("--max-log takes an integer"),
             "--samples" => args.samples = value().parse().expect("--samples takes an integer"),
             "--out" => args.out = value(),
-            other => panic!("unknown flag {other} (expected --min-log/--max-log/--samples/--out)"),
+            "--hgcd-crossover" => {
+                args.hgcd_crossover =
+                    Some(value().parse().expect("--hgcd-crossover takes an integer"))
+            }
+            other => panic!(
+                "unknown flag {other} \
+                 (expected --min-log/--max-log/--samples/--out/--hgcd-crossover)"
+            ),
         }
     }
     assert!(args.min_log <= args.max_log, "--min-log must not exceed --max-log");
@@ -63,6 +92,20 @@ fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> Duration {
     best
 }
 
+/// The per-phase profile of the fastest (by phase total) of `samples`
+/// decode runs, after one warm-up.
+fn best_profile(samples: usize, mut f: impl FnMut() -> DecodeProfile) -> DecodeProfile {
+    std::hint::black_box(f());
+    let mut best = f();
+    for _ in 1..samples {
+        let p = f();
+        if p.total() < best.total() {
+            best = p;
+        }
+    }
+    best
+}
+
 fn us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
@@ -71,26 +114,41 @@ fn speedup(naive: Duration, fast: Duration) -> f64 {
     us(naive) / us(fast).max(1e-9)
 }
 
+/// JSON number or `null` for skipped quadratic baselines.
+fn j_us(d: Option<Duration>) -> String {
+    d.map_or("null".to_string(), |d| format!("{:.2}", us(d)))
+}
+
+fn j_speedup(naive: Option<Duration>, fast: Duration) -> String {
+    naive.map_or("null".to_string(), |n| format!("{:.2}", speedup(n, fast)))
+}
+
+/// Table cell: speedup or `-` when the baseline was skipped.
+fn t_speedup(naive: Option<Duration>, fast: Duration) -> String {
+    naive.map_or("-".to_string(), |n| format!("{:.1}", speedup(n, fast)))
+}
+
+/// Strictly increasing erasure positions for the cold/warm punctured-tree
+/// bench: five spread-out points, fixed per length.
+fn erasure_positions(e: usize) -> Vec<usize> {
+    (0..5).map(|k| k * e / 8 + 3).collect()
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(crossover) = args.hgcd_crossover {
+        set_hgcd_crossover(crossover);
+    }
     let mut rows = Vec::new();
     let mut table = Table::new(&[
-        "len",
-        "prime",
-        "enc Horner",
-        "enc tree",
-        "x",
-        "enc NTT",
-        "x",
-        "int Newton",
-        "int tree",
-        "x",
-        "decode",
+        "len", "prime", "enc tree", "x", "enc NTT", "x", "int tree", "x", "dec tree", "dec NTT",
+        "~int", "~xgcd", "~reenc", "xgcd x",
     ]);
 
     for log in args.min_log..=args.max_log {
         let e = 1usize << log;
         let d = e / 2;
+        let naive_too = log <= NAIVE_MAX_LOG;
         // One NTT-friendly prime per length, admitting transforms of
         // length 2^(log+1) (products of two codeword-degree operands).
         let (q, _) = ntt_prime(1 << 20, log + 1);
@@ -101,76 +159,144 @@ fn main() {
         // Consecutive points: subproduct-tree paths.
         let code = RsCode::consecutive(&field, e);
         let clean = code.encode(&field, &msg);
-        assert_eq!(clean, eval_many(&field, &msg, code.points()), "tree encode disagrees");
-        let t_enc_naive = best_of(args.samples, || eval_many(&field, &msg, code.points()));
+        let t_enc_naive = naive_too.then(|| {
+            assert_eq!(clean, eval_many(&field, &msg, code.points()), "tree encode disagrees");
+            best_of(args.samples, || eval_many(&field, &msg, code.points()))
+        });
         let t_enc_tree = best_of(args.samples, || code.encode(&field, &msg));
         let pts: Vec<(u64, u64)> =
             code.points().iter().copied().zip(clean.iter().copied()).collect();
-        assert_eq!(interpolate_fast(&field, &pts), interpolate(&field, &pts));
-        let t_int_naive = best_of(args.samples, || interpolate(&field, &pts));
+        let t_int_naive = naive_too.then(|| {
+            assert_eq!(interpolate_fast(&field, &pts), interpolate(&field, &pts));
+            best_of(args.samples, || interpolate(&field, &pts))
+        });
         let t_int_tree = best_of(args.samples, || interpolate_fast(&field, &pts));
         let word = fault_every_16th(&field, &clean);
-        let t_decode = best_of(args.samples, || code.decode(&field, &word, d).unwrap());
+        let prof = best_profile(args.samples, || code.decode_profiled(&field, &word, d).unwrap().1);
 
         // Roots-of-unity points: transform-backed paths (the engine's
         // NTT-friendly schedule).
         let roots = RsCode::roots_of_unity(&field, e).expect("prime admits a length-e orbit");
         let clean_r = roots.encode(&field, &msg);
-        assert_eq!(clean_r, eval_many(&field, &msg, roots.points()), "NTT encode disagrees");
-        let t_enc_r_naive = best_of(args.samples, || eval_many(&field, &msg, roots.points()));
+        let t_enc_r_naive = naive_too.then(|| {
+            assert_eq!(clean_r, eval_many(&field, &msg, roots.points()), "NTT encode disagrees");
+            best_of(args.samples, || eval_many(&field, &msg, roots.points()))
+        });
         let t_enc_ntt = best_of(args.samples, || roots.encode(&field, &msg));
         let word_r = fault_every_16th(&field, &clean_r);
-        let t_decode_ntt = best_of(args.samples, || roots.decode(&field, &word_r, d).unwrap());
+        let prof_r =
+            best_profile(args.samples, || roots.decode_profiled(&field, &word_r, d).unwrap().1);
+
+        // Erasure decoding: same word with five symbols withheld. Cold
+        // punctures the full point tree from scratch (fresh clone each
+        // run, empty cache); warm hits the keyed punctured-tree cache.
+        let mut word_e = word_r.clone();
+        for &pos in &erasure_positions(e) {
+            word_e[pos] = None;
+        }
+        let t_erase_cold = best_of(args.samples, || {
+            let fresh = roots.clone();
+            fresh.decode(&field, &word_e, d).unwrap()
+        });
+        let warm = roots.clone();
+        warm.decode(&field, &word_e, d).unwrap();
+        let t_erase_warm = best_of(args.samples, || warm.decode(&field, &word_e, d).unwrap());
+
+        // The partial-xgcd step in isolation, on the exact triple the
+        // Gao decoder feeds it: g0 vanishing on the points, g1 the
+        // interpolation of the (faulted) received word.
+        let g0 = vanishing_poly(&field, code.points());
+        let word_vals: Vec<(u64, u64)> = code
+            .points()
+            .iter()
+            .zip(&word)
+            .map(|(&x, sym)| (x, sym.expect("fault_every_16th keeps all symbols")))
+            .collect();
+        let g1 = interpolate_fast(&field, &word_vals);
+        let stop = (e + d + 2) / 2;
+        let t_xgcd_fast = best_of(args.samples, || g0.partial_xgcd_fast(&field, &g1, stop));
+        let t_xgcd_classical = naive_too.then(|| {
+            assert_eq!(
+                g0.partial_xgcd_fast(&field, &g1, stop),
+                g0.partial_xgcd(&field, &g1, stop),
+                "half-GCD xgcd diverged from the classical oracle"
+            );
+            best_of(args.samples, || g0.partial_xgcd(&field, &g1, stop))
+        });
 
         table.row(&[
             e.to_string(),
             q.to_string(),
-            fmt_duration(t_enc_naive),
             fmt_duration(t_enc_tree),
-            format!("{:.1}", speedup(t_enc_naive, t_enc_tree)),
+            t_speedup(t_enc_naive, t_enc_tree),
             fmt_duration(t_enc_ntt),
-            format!("{:.0}", speedup(t_enc_r_naive, t_enc_ntt)),
-            fmt_duration(t_int_naive),
+            t_speedup(t_enc_r_naive, t_enc_ntt),
             fmt_duration(t_int_tree),
-            format!("{:.1}", speedup(t_int_naive, t_int_tree)),
-            fmt_duration(t_decode),
+            t_speedup(t_int_naive, t_int_tree),
+            fmt_duration(prof.total()),
+            fmt_duration(prof_r.total()),
+            fmt_duration(prof_r.interpolate),
+            fmt_duration(prof_r.xgcd),
+            fmt_duration(prof_r.reencode),
+            t_speedup(t_xgcd_classical, t_xgcd_fast),
         ]);
         rows.push(format!(
             concat!(
                 "    {{\"log2_len\": {}, \"len\": {}, \"prime\": {}, \"degree\": {},\n",
                 "     \"consecutive\": {{",
-                "\"encode_horner_us\": {:.2}, \"encode_tree_us\": {:.2}, ",
-                "\"encode_speedup\": {:.2}, ",
-                "\"interpolate_newton_us\": {:.2}, \"interpolate_tree_us\": {:.2}, ",
-                "\"interpolate_speedup\": {:.2}, \"decode_us\": {:.2}}},\n",
+                "\"encode_horner_us\": {}, \"encode_tree_us\": {:.2}, ",
+                "\"encode_speedup\": {}, ",
+                "\"interpolate_newton_us\": {}, \"interpolate_tree_us\": {:.2}, ",
+                "\"interpolate_speedup\": {}, \"decode_us\": {:.2}, ",
+                "\"decode_interpolate_us\": {:.2}, \"decode_xgcd_us\": {:.2}, ",
+                "\"decode_reencode_us\": {:.2}}},\n",
                 "     \"roots_of_unity\": {{",
-                "\"encode_horner_us\": {:.2}, \"encode_ntt_us\": {:.2}, ",
-                "\"encode_speedup\": {:.2}, \"decode_us\": {:.2}}}}}"
+                "\"encode_horner_us\": {}, \"encode_ntt_us\": {:.2}, ",
+                "\"encode_speedup\": {}, \"decode_us\": {:.2}, ",
+                "\"decode_interpolate_us\": {:.2}, \"decode_xgcd_us\": {:.2}, ",
+                "\"decode_reencode_us\": {:.2}, ",
+                "\"erasure_decode_cold_us\": {:.2}, \"erasure_decode_warm_us\": {:.2}}},\n",
+                "     \"xgcd\": {{\"stop_degree\": {}, \"classical_us\": {}, ",
+                "\"fast_us\": {:.2}, \"speedup\": {}}}}}"
             ),
             log,
             e,
             q,
             d,
-            us(t_enc_naive),
+            j_us(t_enc_naive),
             us(t_enc_tree),
-            speedup(t_enc_naive, t_enc_tree),
-            us(t_int_naive),
+            j_speedup(t_enc_naive, t_enc_tree),
+            j_us(t_int_naive),
             us(t_int_tree),
-            speedup(t_int_naive, t_int_tree),
-            us(t_decode),
-            us(t_enc_r_naive),
+            j_speedup(t_int_naive, t_int_tree),
+            us(prof.total()),
+            us(prof.interpolate),
+            us(prof.xgcd),
+            us(prof.reencode),
+            j_us(t_enc_r_naive),
             us(t_enc_ntt),
-            speedup(t_enc_r_naive, t_enc_ntt),
-            us(t_decode_ntt),
+            j_speedup(t_enc_r_naive, t_enc_ntt),
+            us(prof_r.total()),
+            us(prof_r.interpolate),
+            us(prof_r.xgcd),
+            us(prof_r.reencode),
+            us(t_erase_cold),
+            us(t_erase_warm),
+            stop,
+            j_us(t_xgcd_classical),
+            us(t_xgcd_fast),
+            j_speedup(t_xgcd_classical, t_xgcd_fast),
         ));
     }
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"camelot-bench-algebra/v2\",\n",
-            "  \"description\": \"Reed-Solomon codeword pipeline: Horner/Newton baselines ",
-            "vs subproduct-tree and NTT fast paths (message degree = len/2)\",\n",
+            "  \"schema\": \"camelot-bench-algebra/v3\",\n",
+            "  \"description\": \"Reed-Solomon codeword pipeline: Horner/Newton/classical-xgcd ",
+            "baselines vs subproduct-tree, NTT, and half-GCD fast paths (message degree = len/2; ",
+            "decode_us is the sum of its three phase columns; quadratic baselines are null above ",
+            "2^14)\",\n",
             "  \"prime_schedule\": \"smallest q >= 2^20 with q = 1 mod 2^(log2_len+1)\",\n",
             "  \"samples\": {},\n",
             "  \"timer\": \"best-of-samples wall clock, release build\",\n",
@@ -182,6 +308,6 @@ fn main() {
     );
     std::fs::write(&args.out, &json)
         .unwrap_or_else(|err| panic!("cannot write {}: {err}", args.out));
-    table.print("algebra stack: naive baselines vs fast paths");
+    table.print("algebra stack: fast paths (speedups vs naive baselines where measured)");
     println!("\nwrote {}", args.out);
 }

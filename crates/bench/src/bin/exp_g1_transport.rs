@@ -158,7 +158,15 @@ fn engine_batch_experiment(args: &Args, batch: usize) {
     let outcomes = engine.run_batch(&problems).expect("batched run");
     let elapsed = start.elapsed();
 
-    let mut table = Table::new(&["problem", "triangles", "rounds", "symbols", "bytes on wire"]);
+    let mut table = Table::new(&[
+        "problem",
+        "triangles",
+        "rounds",
+        "symbols",
+        "bytes on wire",
+        "decode",
+        "xgcd",
+    ]);
     for (i, (outcome, graph)) in outcomes.iter().zip(&graphs).enumerate() {
         assert_eq!(outcome.output, count_triangles(graph), "batched output diverged");
         assert_eq!(
@@ -172,6 +180,8 @@ fn engine_batch_experiment(args: &Args, batch: usize) {
             outcome.report.rounds.to_string(),
             outcome.report.symbols_broadcast.to_string(),
             outcome.report.bytes_on_wire.to_string(),
+            fmt_duration(outcome.report.decode_time),
+            fmt_duration(outcome.report.xgcd_time),
         ]);
     }
     table.print(&format!(

@@ -21,7 +21,7 @@ use camelot_cluster::{
 use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the engine derives its deterministic prime moduli from a proof
 /// spec. Every node derives the same schedule from the common input
@@ -206,6 +206,12 @@ pub struct RunReport {
     /// crash/diagnostic frames are excluded, so a socket transport's
     /// raw byte count is somewhat higher).
     pub bytes_on_wire: u64,
+    /// Wall-clock time spent inside `RsCode::decode` across all deciding
+    /// nodes and primes — attributes round time to decode vs transport.
+    pub decode_time: Duration,
+    /// Portion of `decode_time` spent in the partial-xgcd phase of the
+    /// Gao decoder (the half-GCD-accelerated step).
+    pub xgcd_time: Duration,
 }
 
 /// Result of a successful run.
@@ -505,9 +511,12 @@ impl Engine {
         let mut agreed: Option<PrimeProof> = None;
         for &node in deciders {
             let view = broadcast.view_for(node);
-            let decoded = code
-                .decode(field, &view, degree_bound)
+            let decode_started = Instant::now();
+            let (decoded, profile) = code
+                .decode_profiled(field, &view, degree_bound)
                 .map_err(|source| CamelotError::DecodeFailed { modulus: q, node, source })?;
+            acc.report.decode_time += decode_started.elapsed();
+            acc.report.xgcd_time += profile.xgcd;
             for &pos in &decoded.error_positions {
                 acc.faulty.insert(broadcast.assignment[pos]);
             }

@@ -162,28 +162,27 @@ impl PrimeField {
     }
 
     /// `a + b mod q`. Inputs must already be reduced.
+    ///
+    /// Branchless: the candidate `s - q` wraps past `u64::MAX` exactly
+    /// when no reduction is needed, so `min` selects the reduced value —
+    /// a predictable `cmov` instead of a data-dependent branch in the
+    /// butterfly and Horner hot loops.
     #[inline]
     #[must_use]
     pub fn add(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
         let s = a + b;
-        if s >= self.q {
-            s - self.q
-        } else {
-            s
-        }
+        s.min(s.wrapping_sub(self.q))
     }
 
-    /// `a - b mod q`. Inputs must already be reduced.
+    /// `a - b mod q`. Inputs must already be reduced (branchless; see
+    /// [`PrimeField::add`]).
     #[inline]
     #[must_use]
     pub fn sub(&self, a: u64, b: u64) -> u64 {
         debug_assert!(a < self.q && b < self.q);
-        if a >= b {
-            a - b
-        } else {
-            a + self.q - b
-        }
+        let d = a.wrapping_sub(b);
+        d.min(d.wrapping_add(self.q))
     }
 
     /// `-a mod q`. Input must already be reduced.
@@ -232,11 +231,7 @@ impl PrimeField {
         debug_assert!(a < self.q && c < self.q);
         let q_hat = ((u128::from(a) * u128::from(c_shoup)) >> 64) as u64;
         let r = a.wrapping_mul(c).wrapping_sub(q_hat.wrapping_mul(self.q));
-        if r >= self.q {
-            r - self.q
-        } else {
-            r
-        }
+        r.min(r.wrapping_sub(self.q))
     }
 
     /// `a^e mod q` by square-and-multiply.

@@ -151,6 +151,19 @@ impl Poly {
         Poly::from_reduced((0..len).map(|k| self.coeff(len - 1 - k)).collect())
     }
 
+    /// `self quo x^k`: drops the `k` low-order coefficients (the
+    /// truncation the half-GCD speculates on).
+    #[must_use]
+    pub fn shift_down(&self, k: usize) -> Poly {
+        if k == 0 {
+            return self.clone();
+        }
+        if self.coeffs.len() <= k {
+            return Poly::zero();
+        }
+        Poly::from_reduced(self.coeffs[k..].to_vec())
+    }
+
     /// `self * x^k`.
     #[must_use]
     pub fn shift(&self, k: usize) -> Poly {
@@ -281,6 +294,25 @@ impl Poly {
             (v0, v1) = (v1, nv);
         }
         (u0, v0, r0)
+    }
+
+    /// Drop-in fast version of [`Poly::partial_xgcd`]: identical
+    /// contract and bit-identical output, running the structured
+    /// half-GCD of [`crate::partial_xgcd_fast`] past the
+    /// [`crate::hgcd_crossover`] operand length and the classical loop
+    /// below it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both inputs are zero.
+    #[must_use]
+    pub fn partial_xgcd_fast(
+        &self,
+        field: &PrimeField,
+        other: &Poly,
+        stop_degree: usize,
+    ) -> (Poly, Poly, Poly) {
+        crate::hgcd::partial_xgcd_fast(field, self, other, stop_degree)
     }
 }
 

@@ -1,0 +1,424 @@
+//! Half-GCD structured partial extended Euclid.
+//!
+//! [`Poly::partial_xgcd`] walks the Euclidean remainder sequence one
+//! division at a time — quadratic in the degree, and the committed
+//! `BENCH_algebra.json` trajectory shows it dominating Gao decoding past
+//! 2^12. This module computes the *same prefix of the same remainder
+//! sequence* by the divide-and-conquer half-GCD: quotients are
+//! speculated from the top coefficients of the pair, accumulated in a
+//! 2×2 matrix of cofactor polynomials, and applied in bulk through the
+//! cached [`crate::NttPlan`] products of the multipoint machinery
+//! (Karatsuba below the transform threshold or for moduli without
+//! two-adic structure) — `O(M(e) log e)` end to end.
+//!
+//! Speculation is *defensively verified*: a matrix computed from
+//! truncated operands is applied to the full pair and accepted only if
+//! the resulting degrees certify it as a genuine quotient prefix. A
+//! regular matrix (a product of Euclidean step matrices with
+//! positive-degree quotients) whose image keeps strictly decreasing
+//! degrees *is* the Euclidean prefix of the pair — continued-fraction
+//! uniqueness — so a rejected window simply falls back to classical
+//! division steps for that stretch. The output is therefore
+//! bit-identical to [`Poly::partial_xgcd`] on every input: the
+//! remainder, quotient, and cofactor sequences of a pair are unique and
+//! no normalization is applied anywhere.
+
+use crate::dense::Poly;
+use crate::multipoint::{div_rem_ctx, MulContext};
+use camelot_ff::PrimeField;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default operand length (coefficients, max of the two inputs) at which
+/// [`partial_xgcd_fast`] leaves the classical remainder loop for the
+/// structured path. Fitted on the committed `BENCH_algebra.json`
+/// trajectory: on the Gao decode shape the structured path wins at every
+/// measured size — the final-division shortcut alone beats the classical
+/// loop even below the transform threshold — so only toy inputs, where
+/// the two are within noise, stay on the classical loop.
+const HGCD_DEFAULT_CROSSOVER: usize = 32;
+
+/// Degree gap (current head degree minus the target) below which
+/// [`reduce`] steps classically instead of recursing: a handful of
+/// short-quotient divisions is cheaper than matrix bookkeeping.
+const HGCD_BASE_GAP: usize = 16;
+
+fn crossover_cell() -> &'static AtomicUsize {
+    static CELL: OnceLock<AtomicUsize> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let from_env = std::env::var("CAMELOT_HGCD_CROSSOVER").ok().and_then(|v| v.parse().ok());
+        AtomicUsize::new(from_env.unwrap_or(HGCD_DEFAULT_CROSSOVER))
+    })
+}
+
+/// Operand length at which [`partial_xgcd_fast`] switches from the
+/// classical remainder loop to the structured half-GCD path.
+/// Initialized from the `CAMELOT_HGCD_CROSSOVER` environment variable
+/// when set (`0` forces the structured path for every input).
+#[must_use]
+pub fn hgcd_crossover() -> usize {
+    crossover_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the half-GCD crossover process-wide (benchmark crossover
+/// fitting and the CI forced-path smoke run).
+pub fn set_hgcd_crossover(len: usize) {
+    crossover_cell().store(len, Ordering::Relaxed)
+}
+
+/// A 2×2 matrix of cofactor polynomials acting on a remainder pair:
+/// `(r0'; r1') = M · (r0; r1)`. Row 0 holds the Bézout cofactors of the
+/// current head `r0'`, row 1 those of `r1'` — exactly the
+/// `(u0, v0) / (u1, v1)` state of the classical loop.
+#[derive(Clone)]
+struct Mat22 {
+    m: [[Poly; 2]; 2],
+    /// Euclidean quotient steps folded into this matrix (0 ⇔ identity).
+    steps: usize,
+}
+
+impl Mat22 {
+    fn identity() -> Self {
+        Mat22 {
+            m: [[Poly::constant(1), Poly::zero()], [Poly::zero(), Poly::constant(1)]],
+            steps: 0,
+        }
+    }
+
+    fn row(&self, i: usize) -> (Poly, Poly) {
+        (self.m[i][0].clone(), self.m[i][1].clone())
+    }
+
+    /// Folds one Euclidean step with quotient `q`: `self ← Q·self` with
+    /// `Q = [[0, 1], [1, -q]]` — row swap plus one row update, cheaper
+    /// than a general product.
+    fn push_step(&mut self, ctx: &MulContext, q: &Poly) {
+        let f = ctx.field();
+        self.m.swap(0, 1);
+        let r10 = self.m[1][0].sub(f, &ctx.mul(q, &self.m[0][0]));
+        let r11 = self.m[1][1].sub(f, &ctx.mul(q, &self.m[0][1]));
+        self.m[1] = [r10, r11];
+        self.steps += 1;
+    }
+
+    /// `later · earlier` (the matrix applied second multiplies from the
+    /// left).
+    fn compose(ctx: &MulContext, later: &Mat22, earlier: &Mat22) -> Mat22 {
+        if earlier.steps == 0 {
+            return later.clone();
+        }
+        if later.steps == 0 {
+            return earlier.clone();
+        }
+        let f = ctx.field();
+        let entry = |i: usize, j: usize| {
+            ctx.mul(&later.m[i][0], &earlier.m[0][j])
+                .add(f, &ctx.mul(&later.m[i][1], &earlier.m[1][j]))
+        };
+        Mat22 {
+            m: [[entry(0, 0), entry(0, 1)], [entry(1, 0), entry(1, 1)]],
+            steps: later.steps + earlier.steps,
+        }
+    }
+}
+
+/// Reconstructs the full-size image of a matrix speculated on the top
+/// `2·gap` coefficients and accepts it only when the resulting degrees
+/// certify a genuine, non-overshooting quotient prefix: the image head
+/// must be nonzero with degree in `[target, deg r1]` and strictly above
+/// the image tail. Any regular matrix passing this check is *the*
+/// Euclidean prefix of `(s0, s1)` (continued-fraction uniqueness), and
+/// `deg ≥ target` rules out skipping past the straddle point.
+///
+/// `(th, tl)` is the recursion's image of the truncated pair, so with
+/// `s_i = top_i·x^l + low_i` the full image is `M·(s0; s1) =
+/// (th; tl)·x^l + M·(low0; low1)` — four products on half-size operands
+/// instead of full-size ones.
+#[allow(clippy::too_many_arguments)]
+fn reconstruct_verified(
+    ctx: &MulContext,
+    rm: &Mat22,
+    s0: &Poly,
+    s1: &Poly,
+    th: &Poly,
+    tl: &Poly,
+    l: usize,
+    target: usize,
+    d1: usize,
+) -> Option<(Poly, Poly)> {
+    if rm.steps == 0 {
+        return None;
+    }
+    let f = ctx.field();
+    let low0 = s0.truncated(l);
+    let low1 = s1.truncated(l);
+    let a2 = ctx.mul(&rm.m[0][0], &low0).add(f, &ctx.mul(&rm.m[0][1], &low1)).add(f, &th.shift(l));
+    let b2 = ctx.mul(&rm.m[1][0], &low0).add(f, &ctx.mul(&rm.m[1][1], &low1)).add(f, &tl.shift(l));
+    let da = a2.degree()?;
+    if da < target || da > d1 || b2.degree().is_some_and(|db| db >= da) {
+        return None;
+    }
+    Some((a2, b2))
+}
+
+/// Advances the genuine remainder pair `(r0, r1)` (requires
+/// `deg r0 > deg r1`, `r1` may be zero) until `r1` is zero or
+/// `deg r1 < target`, returning the regular transition matrix `M` with
+/// `(s0; s1) = M · (r0; r1)`. The returned pair straddles the target:
+/// `deg s0 >= target` whenever `deg r0 >= target` on entry.
+fn reduce(ctx: &MulContext, r0: &Poly, r1: &Poly, target: usize) -> (Mat22, Poly, Poly) {
+    let mut m = Mat22::identity();
+    let (mut s0, mut s1) = (r0.clone(), r1.clone());
+    loop {
+        let Some(d1) = s1.degree() else { return (m, s0, s1) };
+        if d1 < target {
+            return (m, s0, s1);
+        }
+        let d0 = s0.degree().expect("remainder pair head is nonzero");
+        debug_assert!(d0 > d1, "remainder pair degrees must strictly decrease");
+        let gap = d0 - target;
+        if gap >= HGCD_BASE_GAP {
+            if d0 > 2 * gap {
+                // Safe window: the quotient sequence down to degree
+                // `target` is determined by the top `2·gap` coefficients
+                // alone, so speculate there and verify on the full pair.
+                let l = d0 - 2 * gap;
+                let (rm, th, tl) = reduce(ctx, &s0.shift_down(l), &s1.shift_down(l), gap);
+                if let Some((a2, b2)) =
+                    reconstruct_verified(ctx, &rm, &s0, &s1, &th, &tl, l, target, d1)
+                {
+                    m = Mat22::compose(ctx, &rm, &m);
+                    (s0, s1) = (a2, b2);
+                    continue;
+                }
+            } else {
+                // The pair is not long enough to truncate: close half the
+                // gap by exact recursion on the same pair (which *can*
+                // truncate internally), then loop for the rest.
+                let mid = d0 - gap.div_ceil(2);
+                if d1 >= mid {
+                    let (rm, a2, b2) = reduce(ctx, &s0, &s1, mid);
+                    m = Mat22::compose(ctx, &rm, &m);
+                    (s0, s1) = (a2, b2);
+                    continue;
+                }
+            }
+        }
+        // Base gap, rejected speculation, or a quotient already spanning
+        // the recursion window: one classical step (genuine by
+        // construction; the quotient here is short in all three cases,
+        // so the Newton division is cheap).
+        let (q, r) = div_rem_ctx(ctx, &s0, &s1);
+        m.push_step(ctx, &q);
+        (s0, s1) = (s1, r);
+    }
+}
+
+/// Drop-in fast version of [`Poly::partial_xgcd`]: identical
+/// `(u, v, r)` contract and stop-degree semantics, bit-identical output,
+/// dispatching to the structured half-GCD path once either operand
+/// reaches [`hgcd_crossover`] coefficients and to the classical loop
+/// below it.
+///
+/// # Panics
+///
+/// Panics if both inputs are zero.
+#[must_use]
+pub fn partial_xgcd_fast(
+    field: &PrimeField,
+    a: &Poly,
+    b: &Poly,
+    stop_degree: usize,
+) -> (Poly, Poly, Poly) {
+    if a.coeffs().len().max(b.coeffs().len()) < hgcd_crossover() {
+        return a.partial_xgcd(field, b, stop_degree);
+    }
+    partial_xgcd_structured(field, a, b, stop_degree)
+}
+
+/// The structured half-GCD path with no crossover dispatch — what
+/// [`partial_xgcd_fast`] runs past the crossover, callable directly at
+/// any size (property tests, crossover fitting).
+///
+/// # Panics
+///
+/// Panics if both inputs are zero.
+#[must_use]
+pub fn partial_xgcd_structured(
+    field: &PrimeField,
+    a: &Poly,
+    b: &Poly,
+    stop_degree: usize,
+) -> (Poly, Poly, Poly) {
+    assert!(!(a.is_zero() && b.is_zero()), "partial_xgcd of two zero polynomials");
+    let ctx = MulContext::new(field, a.coeffs().len() + b.coeffs().len() + 2);
+    let mut m = Mat22::identity();
+    let (mut r0, mut r1) = (a.clone(), b.clone());
+    loop {
+        if r1.is_zero() {
+            break;
+        }
+        let Some(d0) = r0.degree() else { break };
+        if d0 < stop_degree {
+            break;
+        }
+        let d1 = r1.degree().expect("checked nonzero");
+        if d1 >= d0 {
+            // Irregular head (`deg b >= deg a` on entry — never inside a
+            // genuine sequence): one classical step restores the
+            // invariant.
+            let (q, r) = div_rem_ctx(&ctx, &r0, &r1);
+            m.push_step(&ctx, &q);
+            (r0, r1) = (r1, r);
+            continue;
+        }
+        if d1 < stop_degree {
+            // The classical loop's final iteration only promotes r1 and
+            // its cofactor row; no division result is ever used.
+            let (u, v) = m.row(1);
+            return (u, v, r1);
+        }
+        let (rm, s0, s1) = reduce(&ctx, &r0, &r1, stop_degree);
+        m = Mat22::compose(&ctx, &rm, &m);
+        (r0, r1) = (s0, s1);
+    }
+    let (u, v) = m.row(0);
+    (u, v, r0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camelot_ff::{ntt_prime, SplitMix64};
+
+    fn ntt_field() -> PrimeField {
+        let (q, _) = ntt_prime(1 << 20, 14);
+        PrimeField::new(q).unwrap()
+    }
+
+    fn plain_field() -> PrimeField {
+        PrimeField::new(1_000_000_007).unwrap()
+    }
+
+    fn random_poly(field: &PrimeField, deg: usize, rng: &mut SplitMix64) -> Poly {
+        Poly::from_reduced(
+            (0..=deg).map(|i| if i == deg { 1 } else { field.sample(rng) }).collect(),
+        )
+    }
+
+    fn assert_matches_classical(field: &PrimeField, a: &Poly, b: &Poly, stop: usize) {
+        let classical = a.partial_xgcd(field, b, stop);
+        let structured = partial_xgcd_structured(field, a, b, stop);
+        assert_eq!(
+            structured,
+            classical,
+            "deg a = {:?}, deg b = {:?}, stop = {stop}, q = {}",
+            a.degree(),
+            b.degree(),
+            field.modulus()
+        );
+    }
+
+    /// Randomized pairs across degrees straddling the dispatch crossover,
+    /// with every stop-degree regime (0 = full gcd, middle, above both
+    /// degrees), against the classical loop — for an NTT-friendly prime
+    /// and one with no two-adic structure.
+    #[test]
+    fn structured_matches_classical_on_random_pairs() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(41);
+            for (da, db) in
+                [(20usize, 11usize), (64, 63), (200, 100), (257, 255), (400, 399), (900, 500)]
+            {
+                let a = random_poly(&field, da, &mut rng);
+                let b = random_poly(&field, db, &mut rng);
+                for stop in [0usize, 1, db / 2, db, da / 2 + db / 2, da, da + 5] {
+                    assert_matches_classical(&field, &a, &b, stop);
+                }
+            }
+        }
+    }
+
+    /// Planted common factors produce degenerate remainder sequences
+    /// (large quotients, early termination); the structured path must
+    /// track them exactly down to the gcd.
+    #[test]
+    fn structured_matches_classical_with_planted_gcd() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(42);
+        let g = random_poly(&field, 40, &mut rng);
+        let a = g.mul(&field, &random_poly(&field, 160, &mut rng));
+        let b = g.mul(&field, &random_poly(&field, 120, &mut rng));
+        for stop in [0usize, 20, 41, 100, 170] {
+            assert_matches_classical(&field, &a, &b, stop);
+        }
+        // Exact multiples: the sequence ends after a single division.
+        let k = random_poly(&field, 90, &mut rng);
+        let a = g.mul(&field, &k);
+        for stop in [0usize, 40, 95] {
+            assert_matches_classical(&field, &a, &g, stop);
+        }
+    }
+
+    /// Edge cases the classical loop defines behaviour for: one zero
+    /// operand (either side), equal degrees, `deg b > deg a`, constants.
+    #[test]
+    fn structured_matches_classical_on_edge_cases() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(43);
+        let p = random_poly(&field, 300, &mut rng);
+        let q = random_poly(&field, 300, &mut rng);
+        let small = random_poly(&field, 3, &mut rng);
+        for stop in [0usize, 5, 150, 301] {
+            assert_matches_classical(&field, &p, &Poly::zero(), stop);
+            assert_matches_classical(&field, &Poly::zero(), &p, stop);
+            assert_matches_classical(&field, &p, &q, stop); // equal degrees
+            assert_matches_classical(&field, &small, &p, stop); // deg b > deg a
+            assert_matches_classical(&field, &p, &Poly::constant(7), stop);
+            assert_matches_classical(&field, &Poly::constant(7), &p, stop);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two zero polynomials")]
+    fn structured_rejects_two_zeros() {
+        let field = ntt_field();
+        let _ = partial_xgcd_structured(&field, &Poly::zero(), &Poly::zero(), 3);
+    }
+
+    /// The dispatching entry point must agree with the classical loop on
+    /// both sides of the crossover (below: it *is* the classical loop;
+    /// above: the structured path).
+    #[test]
+    fn fast_dispatch_matches_classical_across_crossover() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(44);
+        for deg in [30usize, HGCD_DEFAULT_CROSSOVER, 2 * HGCD_DEFAULT_CROSSOVER] {
+            let a = random_poly(&field, deg, &mut rng);
+            let b = random_poly(&field, deg - 7, &mut rng);
+            let stop = deg / 2;
+            assert_eq!(
+                partial_xgcd_fast(&field, &a, &b, stop),
+                a.partial_xgcd(&field, &b, stop),
+                "deg = {deg}"
+            );
+        }
+    }
+
+    /// The Gao-shaped call: `a` is a vanishing polynomial, `b` an
+    /// interpolation of corrupted values, stop just past half — the exact
+    /// workload `RsCode::decode` hands over.
+    #[test]
+    fn structured_matches_classical_on_gao_shape() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(45);
+        let e = 512usize;
+        let d = 255usize;
+        let xs: Vec<u64> = (0..e as u64).collect();
+        let g0 = crate::multipoint::vanishing_poly(&field, &xs);
+        let pts: Vec<(u64, u64)> = xs.iter().map(|&x| (x, field.sample(&mut rng))).collect();
+        let g1 = crate::interp::interpolate(&field, &pts);
+        let stop = (e + d + 2) / 2;
+        assert_matches_classical(&field, &g0, &g1, stop);
+    }
+}

@@ -29,14 +29,16 @@
 #![warn(missing_docs)]
 
 mod dense;
+mod hgcd;
 mod interp;
 mod multipoint;
 mod ntt;
 
 pub use dense::Poly;
+pub use hgcd::{hgcd_crossover, partial_xgcd_fast, partial_xgcd_structured, set_hgcd_crossover};
 pub use interp::{eval_many, interpolate, interpolate_consecutive, lagrange_basis_at};
 pub use multipoint::{
-    cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, PointTree,
+    cached_ntt_plan, div_rem_fast, eval_many_fast, interpolate_fast, vanishing_poly, PointTree,
     TREE_CACHE_CROSSOVER,
 };
 pub use ntt::NttPlan;

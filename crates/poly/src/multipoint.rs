@@ -75,7 +75,7 @@ fn ceil_log2(n: usize) -> u32 {
 /// length the modulus supports (capped at the requested maximum product
 /// length), with [`Poly::mul`] as the fallback.
 #[derive(Clone)]
-struct MulContext {
+pub(crate) struct MulContext {
     field: PrimeField,
     /// `plans[k]` runs transforms of length `2^k`; empty when the modulus
     /// has no two-adic structure.
@@ -138,7 +138,7 @@ pub fn cached_ntt_plan(field: &PrimeField, log_len: u32) -> Option<Arc<NttPlan>>
 impl MulContext {
     /// Builds a strategy for products of up to `max_product_len`
     /// coefficients over `field`.
-    fn new(field: &PrimeField, max_product_len: usize) -> Self {
+    pub(crate) fn new(field: &PrimeField, max_product_len: usize) -> Self {
         let need = ceil_log2(max_product_len.max(1));
         let supported = (field.modulus() - 1).trailing_zeros();
         let k = need.min(supported);
@@ -151,9 +151,14 @@ impl MulContext {
         MulContext { field: *field, plans, covers_max: k == need }
     }
 
+    /// The field this context multiplies over.
+    pub(crate) fn field(&self) -> &PrimeField {
+        &self.field
+    }
+
     /// `a * b`, through the NTT when both operands are long enough and a
     /// plan of the required length exists.
-    fn mul(&self, a: &Poly, b: &Poly) -> Poly {
+    pub(crate) fn mul(&self, a: &Poly, b: &Poly) -> Poly {
         if a.is_zero() || b.is_zero() {
             return Poly::zero();
         }
@@ -192,7 +197,7 @@ fn inv_series(ctx: &MulContext, f: &Poly, n: usize) -> Poly {
 /// # Panics
 ///
 /// Panics if `b` is the zero polynomial.
-fn div_rem_ctx(ctx: &MulContext, a: &Poly, b: &Poly) -> (Poly, Poly) {
+pub(crate) fn div_rem_ctx(ctx: &MulContext, a: &Poly, b: &Poly) -> (Poly, Poly) {
     let db = b.degree().expect("polynomial division by zero");
     let Some(da) = a.degree() else {
         return (Poly::zero(), Poly::zero());
@@ -212,6 +217,22 @@ fn div_rem_ctx(ctx: &MulContext, a: &Poly, b: &Poly) -> (Poly, Poly) {
     let r = a.sub(&ctx.field, &ctx.mul(&q, b));
     debug_assert!(r.degree().is_none_or(|dr| dr < db), "fast division remainder too large");
     (q, r)
+}
+
+/// Euclidean division `(quotient, remainder)` through the cached-plan
+/// fast path: Newton inverse-series division with NTT products past the
+/// internal thresholds, classical [`Poly::div_rem`] below them.
+/// Bit-identical to the classical routine (the field quotient and
+/// remainder are unique) — a drop-in replacement for long divisions on
+/// hot paths such as the Gao decoder's `g / v` step.
+///
+/// # Panics
+///
+/// Panics if `b` is the zero polynomial.
+#[must_use]
+pub fn div_rem_fast(field: &PrimeField, a: &Poly, b: &Poly) -> (Poly, Poly) {
+    let ctx = MulContext::new(field, a.coeffs().len() + 2);
+    div_rem_ctx(&ctx, a, b)
 }
 
 /// Quotient of `l` by the linear factor `(x - xi)` via synthetic
@@ -236,6 +257,12 @@ fn synthetic_div_linear(field: &PrimeField, l: &Poly, xi: u64) -> Poly {
 /// polynomial of the whole point set.
 struct SubproductTree {
     points: Vec<u64>,
+    /// Start index (into `points`) of each level-0 leaf chunk. Uniform
+    /// [`LEAF_SIZE`] chunks for a freshly built tree; a punctured tree
+    /// keeps its parent's chunk partition minus the erased points, so
+    /// chunk sizes vary (and may reach zero — such a leaf holds the
+    /// empty product, the constant 1).
+    leaf_starts: Vec<usize>,
     levels: Vec<Vec<Poly>>,
 }
 
@@ -243,6 +270,7 @@ impl SubproductTree {
     fn build(ctx: &MulContext, points: &[u64]) -> Self {
         debug_assert!(!points.is_empty(), "subproduct tree needs at least one point");
         let field = &ctx.field;
+        let leaf_starts: Vec<usize> = (0..points.len()).step_by(LEAF_SIZE).collect();
         let leaves: Vec<Poly> = points
             .chunks(LEAF_SIZE)
             .map(|chunk| {
@@ -262,7 +290,7 @@ impl SubproductTree {
                 .collect();
             levels.push(next);
         }
-        SubproductTree { points: points.to_vec(), levels }
+        SubproductTree { points: points.to_vec(), leaf_starts, levels }
     }
 
     /// The vanishing polynomial `Π_i (x - x_i)`.
@@ -274,17 +302,27 @@ impl SubproductTree {
         self.levels.len() - 1
     }
 
+    /// Point-index bounds `[start, end)` of leaf `idx`.
+    fn leaf_bounds(&self, idx: usize) -> (usize, usize) {
+        let start = self.leaf_starts[idx];
+        let end = self.leaf_starts.get(idx + 1).copied().unwrap_or(self.points.len());
+        (start, end)
+    }
+
     /// The chunk of points owned by leaf `idx`.
     fn leaf_points(&self, idx: usize) -> &[u64] {
-        let start = idx * LEAF_SIZE;
-        &self.points[start..(start + LEAF_SIZE).min(self.points.len())]
+        let (start, end) = self.leaf_bounds(idx);
+        &self.points[start..end]
     }
 
     /// Number of points below node `(level, idx)`.
     fn count_points(&self, level: usize, idx: usize) -> usize {
-        let lo = (idx << level) * LEAF_SIZE;
-        let hi = (((idx + 1) << level) * LEAF_SIZE).min(self.points.len());
-        hi - lo
+        let nleaves = self.leaf_starts.len();
+        let lo = idx << level;
+        let hi = ((idx + 1) << level).min(nleaves);
+        let start = self.leaf_starts[lo];
+        let end = if hi == nleaves { self.points.len() } else { self.leaf_starts[hi] };
+        end - start
     }
 }
 
@@ -376,6 +414,127 @@ impl PointTree {
     #[must_use]
     pub fn vanishing(&self) -> &Poly {
         self.tree.root()
+    }
+
+    /// The tree over this tree's points minus the erased indices,
+    /// reusing every node — polynomial *and* memoized inverse series —
+    /// whose span contains no erasure; only the spine above touched
+    /// leaves is remultiplied. Erasure decoding punctures the same full
+    /// tree every round, so this turns the per-decode rebuild into
+    /// `O(M(n))` work on the dirty spine (and a cache of punctured trees
+    /// turns repeats into a lookup).
+    ///
+    /// The result evaluates and interpolates bit-identically to a tree
+    /// freshly built over the surviving points: every node is the
+    /// product of the same linear factors in exact field arithmetic, so
+    /// association order cannot change any value. In particular
+    /// [`Self::vanishing`] of the result *is*
+    /// `vanishing_poly(field, surviving)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `erased` is not strictly increasing, indexes out of
+    /// range, or covers every point.
+    #[must_use]
+    pub fn punctured(&self, erased: &[usize]) -> PointTree {
+        assert!(
+            erased.windows(2).all(|w| w[0] < w[1]),
+            "erasure indices must be strictly increasing"
+        );
+        assert!(erased.last().is_none_or(|&i| i < self.len()), "erasure index out of range");
+        assert!(erased.len() < self.len(), "cannot erase every point");
+        let field = self.ctx.field();
+        let old = &self.tree;
+        let nleaves = old.leaf_starts.len();
+        let mut points = Vec::with_capacity(self.len() - erased.len());
+        let mut leaf_starts = Vec::with_capacity(nleaves);
+        let mut leaves = Vec::with_capacity(nleaves);
+        let mut dirty = Vec::with_capacity(nleaves);
+        let mut e = 0usize;
+        for idx in 0..nleaves {
+            let (lo, hi) = old.leaf_bounds(idx);
+            leaf_starts.push(points.len());
+            let erased_before = e;
+            for i in lo..hi {
+                if erased.get(e) == Some(&i) {
+                    e += 1;
+                } else {
+                    points.push(old.points[i]);
+                }
+            }
+            if e == erased_before {
+                dirty.push(false);
+                leaves.push(old.levels[0][idx].clone());
+            } else {
+                dirty.push(true);
+                let mut g = Poly::constant(1);
+                for &x in &points[leaf_starts[idx]..] {
+                    g = g.mul(field, &Poly::from_reduced(vec![field.neg(x), 1]));
+                }
+                leaves.push(g);
+            }
+        }
+        debug_assert_eq!(e, erased.len(), "every erasure index consumed");
+        // Rebuild upward, but only above dirty children; the punctured
+        // tree has the same leaf count and pairing as its parent, so
+        // clean nodes are position-for-position clones.
+        let mut levels = vec![leaves];
+        let mut dirt = vec![dirty];
+        while levels.last().expect("nonempty tree").len() > 1 {
+            let (next, next_dirty) = {
+                let prev = levels.last().expect("nonempty tree");
+                let prev_dirty = dirt.last().expect("nonempty tree");
+                let lvl = levels.len();
+                let n = prev.len().div_ceil(2);
+                let mut next = Vec::with_capacity(n);
+                let mut next_dirty = Vec::with_capacity(n);
+                for j in 0..n {
+                    let (li, ri) = (2 * j, 2 * j + 1);
+                    if ri >= prev.len() {
+                        next.push(prev[li].clone());
+                        next_dirty.push(prev_dirty[li]);
+                    } else if prev_dirty[li] || prev_dirty[ri] {
+                        next.push(self.ctx.mul(&prev[li], &prev[ri]));
+                        next_dirty.push(true);
+                    } else {
+                        next.push(old.levels[lvl][j].clone());
+                        next_dirty.push(false);
+                    }
+                }
+                (next, next_dirty)
+            };
+            levels.push(next);
+            dirt.push(next_dirty);
+        }
+        // A clean node's memoized inverse series carries over: it
+        // depends only on the node polynomial and its precision, and the
+        // old precision (the old sibling degree) can only shrink under
+        // puncturing, so a longer memo truncates to the new need.
+        let inv: Vec<Vec<OnceLock<Poly>>> = dirt
+            .iter()
+            .enumerate()
+            .map(|(lvl, flags)| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .map(
+                        |(j, &is_dirty)| {
+                            if is_dirty {
+                                OnceLock::new()
+                            } else {
+                                self.inv[lvl][j].clone()
+                            }
+                        },
+                    )
+                    .collect()
+            })
+            .collect();
+        PointTree {
+            ctx: self.ctx.clone(),
+            tree: SubproductTree { points, leaf_starts, levels },
+            inv,
+            weights: OnceLock::new(),
+        }
     }
 
     /// Evaluates `poly` at every point — identical dispatch and output
@@ -883,6 +1042,107 @@ mod tests {
         xs[77] = 5; // duplicate abscissa 5
         let tree = PointTree::new(&field, &xs);
         let _ = tree.interpolate_core(&vec![1u64; 100]);
+    }
+
+    /// A punctured tree must be indistinguishable from a tree freshly
+    /// built over the surviving points: same vanishing polynomial, same
+    /// evaluations, same interpolation — for erasure patterns that leave
+    /// chunks untouched, gut chunks entirely, and straddle chunk
+    /// boundaries, on NTT-friendly and unfriendly moduli.
+    #[test]
+    fn punctured_tree_matches_fresh_tree() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(33);
+            let n = 300; // ~10 leaves of LEAF_SIZE = 32
+            let xs = distinct_points(&field, n, &mut rng);
+            let tree = PointTree::new(&field, &xs);
+            let patterns: Vec<Vec<usize>> = vec![
+                vec![5],                     // one point, one dirty leaf
+                (64..96).collect(),          // exactly one whole chunk
+                vec![0, 31, 32, 63, 299],    // chunk boundaries + tail
+                (0..n).step_by(7).collect(), // spread over every leaf
+                (0..250).collect(),          // almost everything
+            ];
+            for erased in patterns {
+                let survivors: Vec<u64> = xs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| erased.binary_search(i).is_err())
+                    .map(|(_, &x)| x)
+                    .collect();
+                let punct = tree.punctured(&erased);
+                assert_eq!(punct.len(), survivors.len());
+                assert_eq!(punct.points(), &survivors[..], "{} erased", erased.len());
+                assert_eq!(
+                    punct.vanishing(),
+                    &vanishing_poly(&field, &survivors),
+                    "{} erased, q = {}",
+                    erased.len(),
+                    field.modulus()
+                );
+                let poly = random_poly(&field, survivors.len().saturating_sub(1).max(1), &mut rng);
+                assert_eq!(
+                    punct.eval_core(&poly),
+                    eval_many(&field, &poly, &survivors),
+                    "{} erased",
+                    erased.len()
+                );
+                let ys: Vec<u64> = (0..survivors.len()).map(|_| field.sample(&mut rng)).collect();
+                let pts: Vec<(u64, u64)> =
+                    survivors.iter().copied().zip(ys.iter().copied()).collect();
+                // Twice: the second interpolation runs on the punctured
+                // tree's warm weight/inverse caches.
+                assert_eq!(punct.interpolate_core(&ys), interpolate(&field, &pts));
+                assert_eq!(punct.interpolate_core(&ys), interpolate(&field, &pts));
+            }
+        }
+    }
+
+    /// Puncturing composes: a punctured tree can itself be punctured
+    /// (variable-width chunks), and warming the parent's caches first
+    /// changes nothing (the memoized inverse series carry over).
+    #[test]
+    fn punctured_tree_composes_and_survives_warm_caches() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(34);
+        let n = 200;
+        let xs = distinct_points(&field, n, &mut rng);
+        let tree = PointTree::new(&field, &xs);
+        // Warm the parent's inverse-series and weight memos.
+        let ys: Vec<u64> = (0..n).map(|_| field.sample(&mut rng)).collect();
+        let _ = tree.interpolate_core(&ys);
+        let first: Vec<usize> = (10..40).collect();
+        let once = tree.punctured(&first);
+        let second: Vec<usize> = (0..once.len()).step_by(11).collect();
+        let twice = once.punctured(&second);
+        let survivors: Vec<u64> = once
+            .points()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| second.binary_search(i).is_err())
+            .map(|(_, &x)| x)
+            .collect();
+        assert_eq!(twice.points(), &survivors[..]);
+        assert_eq!(twice.vanishing(), &vanishing_poly(&field, &survivors));
+        let sy: Vec<u64> = (0..survivors.len()).map(|_| field.sample(&mut rng)).collect();
+        let pts: Vec<(u64, u64)> = survivors.iter().copied().zip(sy.iter().copied()).collect();
+        assert_eq!(twice.interpolate_core(&sy), interpolate(&field, &pts));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn punctured_tree_rejects_unsorted_erasures() {
+        let field = ntt_field();
+        let tree = PointTree::new(&field, &(0..100u64).collect::<Vec<_>>());
+        let _ = tree.punctured(&[5, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot erase every point")]
+    fn punctured_tree_rejects_total_erasure() {
+        let field = ntt_field();
+        let tree = PointTree::new(&field, &(0..10u64).collect::<Vec<_>>());
+        let _ = tree.punctured(&(0..10usize).collect::<Vec<_>>());
     }
 
     #[test]

@@ -172,16 +172,19 @@ impl NttPlan {
                 }
             }
         }
-        // Butterflies.
+        // Butterflies. Slice splitting instead of indexed access keeps
+        // the inner loop free of bounds checks — the butterfly is the
+        // hot spot of every fast-path product in the repo.
         let mut span = 1usize;
         for table in tables {
-            for block in (0..n).step_by(2 * span) {
-                for i in block..block + span {
-                    let t = i - block;
-                    let a = values[i];
-                    let b = f.mul_shoup(values[i + span], table.w[t], table.shoup[t]);
-                    values[i] = f.add(a, b);
-                    values[i + span] = f.sub(a, b);
+            for block in values.chunks_exact_mut(2 * span) {
+                let (lo, hi) = block.split_at_mut(span);
+                let twiddles = table.w.iter().zip(&table.shoup);
+                for ((a, b), (&w, &ws)) in lo.iter_mut().zip(hi.iter_mut()).zip(twiddles) {
+                    let x = *a;
+                    let t = f.mul_shoup(*b, w, ws);
+                    *a = f.add(x, t);
+                    *b = f.sub(x, t);
                 }
             }
             span *= 2;

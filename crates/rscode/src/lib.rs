@@ -41,14 +41,22 @@
 
 use camelot_ff::PrimeField;
 use camelot_poly::{
-    cached_ntt_plan, eval_many_fast, interpolate_fast, vanishing_poly, PointTree, Poly,
-    TREE_CACHE_CROSSOVER,
+    cached_ntt_plan, div_rem_fast, eval_many_fast, interpolate_fast, vanishing_poly, PointTree,
+    Poly, TREE_CACHE_CROSSOVER,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Punctured subproduct trees kept per code, most recently used first.
+/// Crash-fault rounds present the same erasure set decode after decode,
+/// so a handful of entries covers the working set; a churning set of
+/// erasure patterns just degrades to rebuild-per-decode (puncturing,
+/// not from scratch).
+const PUNCTURED_CACHE_CAP: usize = 4;
 
 /// A nonsystematic Reed–Solomon code: `e` distinct evaluation points in
 /// `Z_q`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct RsCode {
     points: Vec<u64>,
     /// `G_0(x) = Π_i (x - x_i)`, precomputed for decoding.
@@ -61,9 +69,31 @@ pub struct RsCode {
     /// node inverse series and Lagrange weights), built once past the
     /// crossover where the vanishing polynomial builds one anyway.
     /// `encode` and `decode`'s interpolation/re-encode reuse it instead
-    /// of rebuilding an identical tree per call; erasure subsets still
-    /// rebuild (their point sets vary).
+    /// of rebuilding an identical tree per call.
     tree: Option<Arc<PointTree>>,
+    /// Full tree built on first *erasure* decode when `tree` is `None`
+    /// (a full-orbit roots-of-unity code encodes and clean-decodes on
+    /// NTTs alone, so it skips the eager build) — erasure subsets
+    /// puncture this instead of rebuilding from scratch.
+    erasure_tree: OnceLock<Arc<PointTree>>,
+    /// Keyed LRU of punctured (erasure-subset) trees; see
+    /// [`PUNCTURED_CACHE_CAP`].
+    punctured: Mutex<Vec<(Vec<usize>, Arc<PointTree>)>>,
+}
+
+impl Clone for RsCode {
+    fn clone(&self) -> Self {
+        RsCode {
+            points: self.points.clone(),
+            g0: self.g0.clone(),
+            ntt: self.ntt,
+            tree: self.tree.clone(),
+            erasure_tree: self.erasure_tree.clone(),
+            punctured: Mutex::new(
+                self.punctured.lock().map(|cache| cache.clone()).unwrap_or_default(),
+            ),
+        }
+    }
 }
 
 impl PartialEq for RsCode {
@@ -87,6 +117,32 @@ pub struct Decoded {
     pub error_positions: Vec<usize>,
     /// Positions that were erased (crashed nodes); informational.
     pub erasure_positions: Vec<usize>,
+}
+
+/// Per-phase wall-clock breakdown of one [`RsCode::decode_profiled`]
+/// call, for attributing round time to algebra phases (the engine's
+/// `RunReport` aggregates these across deciding nodes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeProfile {
+    /// Syndrome interpolation: building the erasure locator `G0`
+    /// (punctured-tree root on the erasure path) and interpolating the
+    /// received values into `G1`.
+    pub interpolate: Duration,
+    /// The partial extended Euclid on `(G0, G1)` — structured half-GCD
+    /// past the crossover.
+    pub xgcd: Duration,
+    /// Root finding: dividing out the message and re-encoding it to
+    /// identify the error positions.
+    pub reencode: Duration,
+}
+
+impl DecodeProfile {
+    /// Sum of the tracked phases (slightly under the caller's wall
+    /// clock — symbol marshalling is untimed).
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.interpolate + self.xgcd + self.reencode
+    }
 }
 
 /// Decoding failure.
@@ -170,7 +226,14 @@ impl RsCode {
         } else {
             (vanishing_poly(field, &points), None)
         };
-        RsCode { points, g0, ntt: None, tree }
+        RsCode {
+            points,
+            g0,
+            ntt: None,
+            tree,
+            erasure_tree: OnceLock::new(),
+            punctured: Mutex::new(Vec::new()),
+        }
     }
 
     /// Code over the first `e` powers `ω^0, …, ω^{e-1}` of a primitive
@@ -213,7 +276,14 @@ impl RsCode {
         } else {
             (vanishing_poly(field, &points), None)
         };
-        Some(RsCode { points, g0, ntt: Some((k, w)), tree })
+        Some(RsCode {
+            points,
+            g0,
+            ntt: Some((k, w)),
+            tree,
+            erasure_tree: OnceLock::new(),
+            punctured: Mutex::new(Vec::new()),
+        })
     }
 
     /// Code length `e`.
@@ -299,6 +369,24 @@ impl RsCode {
         received: &[Option<u64>],
         degree_bound: usize,
     ) -> Result<Decoded, DecodeError> {
+        self.decode_profiled(field, received, degree_bound).map(|(decoded, _)| decoded)
+    }
+
+    /// [`RsCode::decode`] with a per-phase wall-clock breakdown
+    /// alongside the result — same output, same errors; the profile is
+    /// what the engine's `RunReport` aggregates to attribute round time
+    /// to decode phases vs transport.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`RsCode::decode`].
+    pub fn decode_profiled(
+        &self,
+        field: &PrimeField,
+        received: &[Option<u64>],
+        degree_bound: usize,
+    ) -> Result<(Decoded, DecodeProfile), DecodeError> {
+        let mut profile = DecodeProfile::default();
         if received.len() != self.points.len() {
             return Err(DecodeError::LengthMismatch {
                 got: received.len(),
@@ -321,14 +409,28 @@ impl RsCode {
         if e_prime < degree_bound + 1 {
             return Err(DecodeError::TooFewSymbols { received: e_prime, needed: degree_bound + 1 });
         }
-        // G0 over the received points: reuse the precomputed full product
-        // when nothing was erased, otherwise rebuild on the subset.
-        let g0 =
-            if erasure_positions.is_empty() { self.g0.clone() } else { vanishing_poly(field, &xs) };
+        let interp_start = Instant::now();
+        // G0 over the received points and a tree to interpolate with:
+        // the precomputed full product when nothing was erased; the
+        // cached punctured tree — whose root *is* the erasure locator —
+        // otherwise. Only small codes (no tree kept) still rebuild the
+        // subset product from scratch.
+        let punctured = if erasure_positions.is_empty() {
+            None
+        } else {
+            self.punctured_tree(field, &erasure_positions)
+        };
+        let g0 = if erasure_positions.is_empty() {
+            self.g0.clone()
+        } else if let Some(ptree) = &punctured {
+            ptree.vanishing().clone()
+        } else {
+            vanishing_poly(field, &xs)
+        };
         // G1 interpolates the received values: one inverse NTT when the
         // code fills a transform and nothing was erased; otherwise the
         // general interpolation (tree-based past the crossover, Newton
-        // below it).
+        // below it) on the cached full or punctured tree.
         let ntt_plan = match self.ntt {
             Some((k, _)) if e_prime == 1usize << k => cached_ntt_plan(field, k),
             _ => None,
@@ -337,6 +439,8 @@ impl RsCode {
             let mut values = rs.clone();
             plan.inverse(&mut values);
             Poly::from_reduced(values)
+        } else if let Some(ptree) = &punctured {
+            ptree.interpolate(&rs)
         } else if let (true, Some(tree)) = (erasure_positions.is_empty(), &self.tree) {
             // Full word received: interpolate on the cached tree (warm
             // Lagrange weights after the first decode).
@@ -345,22 +449,25 @@ impl RsCode {
             let pts: Vec<(u64, u64)> = xs.iter().copied().zip(rs.iter().copied()).collect();
             interpolate_fast(field, &pts)
         };
+        profile.interpolate = interp_start.elapsed();
         if g1.is_zero() {
             // All received symbols are zero: the unique closest codeword is
             // the zero polynomial (the Euclid below would divide by v = 0).
-            return Ok(Decoded {
-                poly: Poly::zero(),
-                error_positions: Vec::new(),
-                erasure_positions,
-            });
+            let decoded =
+                Decoded { poly: Poly::zero(), error_positions: Vec::new(), erasure_positions };
+            return Ok((decoded, profile));
         }
-        // Partial extended Euclid, stopping when deg g < (e' + d + 1)/2.
+        // Partial extended Euclid, stopping when deg g < (e' + d + 1)/2 —
+        // the structured half-GCD past the crossover operand length.
         let stop = (e_prime + degree_bound + 2) / 2; // = ceil((e'+d+1)/2)
-        let (_, v, g) = g0.partial_xgcd(field, &g1, stop);
+        let xgcd_start = Instant::now();
+        let (_, v, g) = g0.partial_xgcd_fast(field, &g1, stop);
+        profile.xgcd = xgcd_start.elapsed();
         if v.is_zero() {
             return Err(DecodeError::BeyondRadius);
         }
-        let (p, r) = g.div_rem(field, &v);
+        let reencode_start = Instant::now();
+        let (p, r) = div_rem_fast(field, &g, &v);
         if !r.is_zero() || p.degree().is_some_and(|d| d > degree_bound) {
             return Err(DecodeError::BeyondRadius);
         }
@@ -376,7 +483,34 @@ impl RsCode {
                 }
             }
         }
-        Ok(Decoded { poly: p, error_positions, erasure_positions })
+        profile.reencode = reencode_start.elapsed();
+        Ok((Decoded { poly: p, error_positions, erasure_positions }, profile))
+    }
+
+    /// The punctured subproduct tree for an erasure set: from the
+    /// per-code LRU when the same crash pattern recurs, else built by
+    /// puncturing the cached full tree (clean subtree nodes and their
+    /// memoized inverse series are reused, not rebuilt). `None` below
+    /// the tree-cache crossover, where the quadratic paths win anyway.
+    fn punctured_tree(&self, field: &PrimeField, erased: &[usize]) -> Option<Arc<PointTree>> {
+        let full: &Arc<PointTree> = if let Some(tree) = &self.tree {
+            tree
+        } else if self.points.len() >= TREE_CACHE_CROSSOVER {
+            self.erasure_tree.get_or_init(|| Arc::new(PointTree::new(field, &self.points)))
+        } else {
+            return None;
+        };
+        let mut cache = self.punctured.lock().expect("punctured-tree cache poisoned");
+        if let Some(pos) = cache.iter().position(|(key, _)| key == erased) {
+            let entry = cache.remove(pos);
+            let tree = Arc::clone(&entry.1);
+            cache.insert(0, entry);
+            return Some(tree);
+        }
+        let tree = Arc::new(full.punctured(erased));
+        cache.insert(0, (erased.to_vec(), Arc::clone(&tree)));
+        cache.truncate(PUNCTURED_CACHE_CAP);
+        Some(tree)
     }
 }
 
@@ -668,6 +802,99 @@ mod tests {
         assert_eq!(first.poly, msg);
         assert_eq!(first.error_positions, vec![7]);
         assert_eq!(first.erasure_positions, vec![100]);
+    }
+
+    /// Erasure decodes past the tree-cache crossover run on punctured
+    /// trees: cold (first decode punctures the full tree), warm (the
+    /// LRU returns the same tree), and a fresh code must all produce
+    /// identical results — and the cloned code starts cold again.
+    #[test]
+    fn punctured_tree_cache_warm_and_cold_decodes_agree() {
+        let field = f();
+        let mut rng = SplitMix64::new(13);
+        let d = 60;
+        let e = 400; // >= TREE_CACHE_CROSSOVER: erasure decodes puncture
+        let code = RsCode::consecutive(&field, e);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        let erasures = [3usize, 31, 32, 100, 101, 250, 399];
+        for &pos in &erasures {
+            word[pos] = None;
+        }
+        for pos in [7usize, 77, 200] {
+            word[pos] = Some(field.add(clean[pos], 5));
+        }
+        let cold = code.decode(&field, &word, d).unwrap();
+        let warm = code.decode(&field, &word, d).unwrap();
+        assert_eq!(cold, warm, "warm punctured cache changed the result");
+        assert_eq!(cold.poly, msg);
+        assert_eq!(cold.error_positions, vec![7, 77, 200]);
+        assert_eq!(cold.erasure_positions, erasures.to_vec());
+        let fresh = RsCode::consecutive(&field, e).decode(&field, &word, d).unwrap();
+        assert_eq!(cold, fresh, "cached-tree decode diverged from a fresh code");
+        let cloned = code.clone().decode(&field, &word, d).unwrap();
+        assert_eq!(cold, cloned, "cloned code (cold cache) diverged");
+        // A second erasure pattern must not collide with the cached one.
+        let mut other: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        for pos in [0usize, 1, 2] {
+            other[pos] = None;
+        }
+        let out = code.decode(&field, &other, d).unwrap();
+        assert_eq!(out.poly, msg);
+        assert_eq!(out.erasure_positions, vec![0, 1, 2]);
+    }
+
+    /// A full-orbit roots-of-unity code keeps no eager tree; its first
+    /// erasure decode must lazily build one, puncture it, and still
+    /// agree with a fresh code on repeated (warm) decodes.
+    #[test]
+    fn roots_of_unity_erasure_decode_uses_lazy_tree() {
+        let (q, _) = camelot_ff::ntt_prime(1 << 20, 12);
+        let field = PrimeField::new(q).unwrap();
+        let mut rng = SplitMix64::new(14);
+        let d = 100;
+        let e = 512; // full transform: no eager tree
+        let code = RsCode::roots_of_unity(&field, e).expect("NTT-friendly prime");
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        for pos in [5usize, 64, 300] {
+            word[pos] = None;
+        }
+        word[9] = Some(field.add(clean[9], 1));
+        let cold = code.decode(&field, &word, d).unwrap();
+        let warm = code.decode(&field, &word, d).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold.poly, msg);
+        assert_eq!(cold.error_positions, vec![9]);
+        assert_eq!(cold.erasure_positions, vec![5, 64, 300]);
+        let fresh = RsCode::roots_of_unity(&field, e).unwrap().decode(&field, &word, d).unwrap();
+        assert_eq!(cold, fresh);
+    }
+
+    /// `decode_profiled` returns exactly what `decode` returns, with a
+    /// breakdown whose phases are populated on the paths that ran.
+    #[test]
+    fn decode_profiled_matches_decode_and_times_phases() {
+        let field = f();
+        let mut rng = SplitMix64::new(15);
+        let d = 40;
+        let e = 200;
+        let code = RsCode::consecutive(&field, e);
+        let msg = random_message(&field, d, &mut rng);
+        let clean = code.encode(&field, &msg);
+        let mut word: Vec<Option<u64>> = clean.iter().copied().map(Some).collect();
+        word[3] = Some(field.add(clean[3], 2));
+        word[50] = None;
+        let (decoded, profile) = code.decode_profiled(&field, &word, d).unwrap();
+        assert_eq!(decoded, code.decode(&field, &word, d).unwrap());
+        assert!(profile.total() >= profile.xgcd);
+        // The zero word short-circuits before the Euclid phase.
+        let zeros: Vec<Option<u64>> = vec![Some(0); e];
+        let (z, zp) = code.decode_profiled(&field, &zeros, d).unwrap();
+        assert!(z.poly.is_zero());
+        assert_eq!(zp.xgcd, std::time::Duration::ZERO);
     }
 
     #[test]

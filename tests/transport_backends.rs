@@ -177,6 +177,52 @@ fn engine_outcomes_are_identical_across_backends() {
     }
 }
 
+/// A crash-fault plan pins the erasure set: every decider punctures the
+/// same positions, so the first decode builds the punctured point tree
+/// cold and the rest hit the keyed cache warm. The decoded proof must be
+/// bit-identical across deciders (the engine's disagreement check runs
+/// on every pair) and across all three transport backends, and the new
+/// decode/xgcd observability counters must attribute nonzero time.
+#[test]
+fn crash_fault_erasure_decoding_is_identical_across_backends() {
+    let problem = WirePoly { coeffs: vec![987_654_321, 11, 3, 0, 2] };
+    let d = problem.spec().degree_bound;
+    let budget = 5;
+    let nodes = d + 1 + 2 * budget;
+    // Crashes only: the erasure set is fixed and identical in every
+    // decider's view, so warm cache hits recur within each run.
+    let crashes: Vec<(usize, FaultKind)> =
+        [2, 6, 9].iter().map(|&n| (n, FaultKind::Crash)).collect();
+    let plan = FaultPlan::with_faults(nodes, &crashes);
+
+    let outcome_for = |backend: Backend| {
+        let config = EngineConfig::sequential(nodes, budget)
+            .with_plan(plan.clone())
+            .with_full_decoding()
+            .with_backend(backend);
+        Engine::new(config).run(&problem).expect("crash plan within budget must decode")
+    };
+
+    let reference = outcome_for(Backend::InProcess);
+    assert_eq!(reference.output, 987_654_321);
+    assert_eq!(reference.certificate.crashed_nodes, vec![2, 6, 9]);
+    assert!(reference.certificate.identified_faulty_nodes.is_empty());
+    assert!(
+        reference.report.decode_time >= reference.report.xgcd_time,
+        "xgcd time is a sub-phase of decode time"
+    );
+    assert!(
+        reference.report.decode_time.as_nanos() > 0,
+        "full decoding across deciders must accumulate decode time"
+    );
+
+    for backend in [Backend::Channel, Backend::Socket(WorkerMode::Threads)] {
+        let outcome = outcome_for(backend.clone());
+        assert_eq!(outcome.output, reference.output, "{backend:?}");
+        assert_eq!(outcome.certificate, reference.certificate, "{backend:?}");
+    }
+}
+
 /// Problems whose evaluators are opaque closures cannot run on the
 /// socket backend — the engine must say so, not hang or mis-evaluate.
 #[test]
