@@ -15,7 +15,8 @@
 //! | [`SetCovers`] | 9 | `O*(2^{n/2})` |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod cnf;
 mod conv3sum;

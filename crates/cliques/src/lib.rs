@@ -10,7 +10,8 @@
 //! baselines for the benchmarks.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod form62;
 mod kclique;

@@ -25,7 +25,8 @@
 //! the other backends must (and do) reproduce it bit for bit.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod fault;
 mod round;

@@ -52,13 +52,16 @@ impl Transport for ChannelTransport {
         let (reply_tx, reply_rx) = mpsc::channel::<NodeFrames>();
 
         let frames: Vec<NodeFrames> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nodes);
             for node in 0..nodes {
                 let (task_tx, task_rx) = mpsc::channel::<ChannelTask>();
                 let reply_tx = reply_tx.clone();
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
                     // The node blocks for its work order, computes its
-                    // frames from the owned task alone, and replies.
-                    let task = task_rx.recv().expect("coordinator hung up");
+                    // frames from the owned task alone, and replies. A
+                    // hung-up coordinator means the round was abandoned;
+                    // exiting quietly is the only sane response.
+                    let Ok(task) = task_rx.recv() else { return };
                     let frames = compute_node_frames(
                         &task.field,
                         task.kind,
@@ -68,23 +71,44 @@ impl Transport for ChannelTransport {
                         &task.points,
                         eval,
                     );
-                    reply_tx.send(frames).expect("coordinator hung up");
-                });
+                    // Likewise: nobody left to tell if the send fails.
+                    reply_tx.send(frames).ok();
+                }));
                 let (lo, hi) = node_slice(e, nodes, node);
-                task_tx
-                    .send(ChannelTask {
-                        field: *spec.field,
-                        kind: spec.plan.kind(node),
-                        nodes,
-                        node,
-                        lo,
-                        points: spec.points[lo..hi].to_vec(),
-                    })
-                    .expect("node thread hung up");
+                let task = ChannelTask {
+                    field: *spec.field,
+                    kind: spec.plan.kind(node),
+                    nodes,
+                    node,
+                    lo,
+                    points: spec.points[lo..hi].to_vec(),
+                };
+                // A dead node thread cannot receive; the missing-frame
+                // check below turns that into a reported worker failure.
+                task_tx.send(task).ok();
             }
             drop(reply_tx);
-            reply_rx.iter().collect()
-        });
+            // Drain every reply first (the iterator ends once all node
+            // threads have dropped their senders), then join the threads
+            // so a panicked node surfaces as a transport error rather
+            // than aborting the coordinator.
+            let frames: Vec<NodeFrames> = reply_rx.iter().collect();
+            for (node, handle) in handles.into_iter().enumerate() {
+                if handle.join().is_err() {
+                    return Err(TransportError::WorkerFailed {
+                        node,
+                        reason: "node thread panicked".to_string(),
+                    });
+                }
+            }
+            Ok(frames)
+        })?;
+        if let Some(node) = (0..nodes).find(|&n| !frames.iter().any(|f| f.node == n)) {
+            return Err(TransportError::WorkerFailed {
+                node,
+                reason: "node thread exited without replying".to_string(),
+            });
+        }
         Ok(assemble_round(spec, eval.width(), frames))
     }
 }

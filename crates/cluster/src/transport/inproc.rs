@@ -58,8 +58,19 @@ impl Transport for InProcess {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect()
-            })
+                // A panicked node surfaces as a transport error instead of
+                // aborting the coordinator.
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(node, h)| {
+                        h.join().map_err(|_| TransportError::WorkerFailed {
+                            node,
+                            reason: "node thread panicked".to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<NodeFrames>, TransportError>>()
+            })?
         } else {
             (0..nodes)
                 .map(|node| {

@@ -348,12 +348,14 @@ impl Task {
                 Some(&"cluster") => nodes = Some(parse_usize(tokens.get(1), "cluster")?),
                 Some(&"node") => node = Some(parse_usize(tokens.get(1), "node")?),
                 Some(&"width") => width = Some(parse_usize(tokens.get(1), "width")?),
-                Some(&"fault") => fault = Some(parse_fault(&tokens[1..])?),
+                Some(&"fault") => fault = Some(parse_fault(tokens.get(1..).unwrap_or(&[]))?),
                 Some(&"program") => {
                     let p = parse_usize(tokens.get(1), "program index")?;
                     match tokens.get(2) {
                         Some(&"poly") => {
-                            let coeffs = tokens[3..]
+                            let coeffs = tokens
+                                .get(3..)
+                                .unwrap_or(&[])
                                 .iter()
                                 .map(|t| {
                                     t.parse::<u64>()
@@ -367,7 +369,9 @@ impl Task {
                 }
                 Some(&"points") => {
                     let lo = parse_usize(tokens.get(1), "points base index")?;
-                    let xs = tokens[2..]
+                    let xs = tokens
+                        .get(2..)
+                        .unwrap_or(&[])
                         .iter()
                         .map(|t| t.parse::<u64>().map_err(|_| protocol("non-numeric point")))
                         .collect::<Result<Vec<u64>, _>>()?;
@@ -500,11 +504,11 @@ pub fn parse_reply(text: &str) -> Result<NodeFrames, TransportError> {
                     if base.is_some() {
                         return Err(protocol("duplicate frame all"));
                     }
-                    base = Some(parse_symbols(&tokens[2..])?);
+                    base = Some(parse_symbols(tokens.get(2..).unwrap_or(&[]))?);
                 }
                 Some(_) => {
                     let r = parse_usize(tokens.get(1), "frame receiver")?;
-                    per_receiver.push((r, parse_symbols(&tokens[2..])?));
+                    per_receiver.push((r, parse_symbols(tokens.get(2..).unwrap_or(&[]))?));
                 }
                 None => return Err(protocol("frame line missing receiver")),
             },

@@ -17,7 +17,8 @@
 //!   ([`merlin_prove`] / [`arthur_verify`]).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod engine;
 mod error;

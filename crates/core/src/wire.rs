@@ -22,7 +22,6 @@
 use crate::engine::Certificate;
 use crate::error::CamelotError;
 use crate::problem::PrimeProof;
-use std::fmt::Write as _;
 
 /// Magic header line.
 const HEADER: &str = "camelot-certificate v1";
@@ -32,23 +31,24 @@ impl Certificate {
     #[must_use]
     pub fn to_wire(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{HEADER}");
-        let _ = writeln!(out, "code-length {}", self.code_length);
-        let _ = writeln!(out, "degree-bound {}", self.degree_bound);
-        let _ = write!(out, "faulty");
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("code-length {}\n", self.code_length));
+        out.push_str(&format!("degree-bound {}\n", self.degree_bound));
+        out.push_str("faulty");
         for node in &self.identified_faulty_nodes {
-            let _ = write!(out, " {node}");
+            out.push_str(&format!(" {node}"));
         }
         out.push('\n');
-        let _ = write!(out, "crashed");
+        out.push_str("crashed");
         for node in &self.crashed_nodes {
-            let _ = write!(out, " {node}");
+            out.push_str(&format!(" {node}"));
         }
         out.push('\n');
         for proof in &self.proofs {
-            let _ = write!(out, "proof {}", proof.modulus);
+            out.push_str(&format!("proof {}", proof.modulus));
             for &c in &proof.coefficients {
-                let _ = write!(out, " {c}");
+                out.push_str(&format!(" {c}"));
             }
             out.push('\n');
         }

@@ -17,7 +17,8 @@
 //! and per-node time are `O*(σ^{(ω+ε)n/6})`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod weighted;
 

@@ -115,6 +115,11 @@ impl PrimeField {
         self.q
     }
 
+    // lint:hot-begin(barrett-shoup) — the scalar reduction kernels every
+    // NTT butterfly, Horner loop, and tree pass bottoms out in. No `%`
+    // (PR 3 replaced the `u128 %` reduction), no clones, no allocation;
+    // camelot-lint enforces this region.
+
     /// Barrett reduction of an arbitrary `u128` into `[0, q)`.
     ///
     /// The quotient estimate `⌊a · ⌊2^128/q⌋ / 2^128⌋` undershoots the
@@ -233,6 +238,8 @@ impl PrimeField {
         let r = a.wrapping_mul(c).wrapping_sub(q_hat.wrapping_mul(self.q));
         r.min(r.wrapping_sub(self.q))
     }
+
+    // lint:hot-end
 
     /// `a^e mod q` by square-and-multiply.
     #[must_use]

@@ -10,7 +10,8 @@
 //! deletion–contraction Tutte oracles, and Hamiltonian-cycle counting.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod chromatic;
 mod count;

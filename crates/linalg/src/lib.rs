@@ -14,7 +14,8 @@
 //!   turns the split into a Camelot proof polynomial.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod matrix;
 mod tensor;

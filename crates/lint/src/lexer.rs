@@ -1,0 +1,302 @@
+//! A small, total Rust lexer.
+//!
+//! The workspace has no crates.io access, so the lint ships its own lexer
+//! instead of depending on `syn`/`proc-macro2`. It is deliberately *not* a
+//! full Rust grammar: the rules in [`crate::rules`] only need a faithful
+//! token stream that distinguishes code from comments and string literals,
+//! and char literals from lifetimes. Two invariants make it safe to run on
+//! arbitrary input (including non-Rust bytes, enforced by property tests):
+//!
+//! 1. **Totality** — `lex` never panics, whatever the input.
+//! 2. **Span coverage** — the concatenation of all token texts equals the
+//!    input exactly; every byte belongs to exactly one token.
+//!
+//! Unterminated constructs (a `"` with no closing quote, an open `/*`) are
+//! lexed as a single token running to end of input, mirroring what rustc's
+//! recovery does; the rule engine treats them like their closed forms.
+
+/// Lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (including newlines).
+    Whitespace,
+    /// A `// ...` comment, up to but not including the newline.
+    LineComment,
+    /// A `/* ... */` comment; nesting is honoured, unterminated runs to EOF.
+    BlockComment,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime such as `'static` or `'a` (no closing quote).
+    Lifetime,
+    /// A numeric literal (integer or float, any radix, with suffixes).
+    Number,
+    /// An identifier, keyword, or raw identifier (`r#match`).
+    Ident,
+    /// Any single character not covered above (operators, brackets, …).
+    Punct,
+}
+
+/// One token of the input, borrowing its text.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact slice of the source covered by this token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src` completely. Never panics; see the module docs for the
+/// invariants callers may rely on.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    let at = |i: usize| chars.get(i).map(|&(_, c)| c);
+    let off = |i: usize| chars.get(i).map_or(src.len(), |&(o, _)| o);
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let start = i;
+        let c = chars[i].1;
+        let kind = if c.is_whitespace() {
+            while at(i).is_some_and(|c| c.is_whitespace()) {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if c == '/' && at(i + 1) == Some('/') {
+            while at(i).is_some_and(|c| c != '\n') {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if c == '/' && at(i + 1) == Some('*') {
+            i += 2;
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if at(i) == Some('/') && at(i + 1) == Some('*') {
+                    depth += 1;
+                    i += 2;
+                } else if at(i) == Some('*') && at(i + 1) == Some('/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if c == '"' {
+            i = scan_string(&at, n, i);
+            TokenKind::Str
+        } else if c == 'r' || c == 'b' {
+            // Possible raw string (r"…", r#"…"#), byte string (b"…", br"…"),
+            // byte char (b'x'), raw identifier (r#ident), or a plain ident.
+            let is_raw = c == 'r' || (c == 'b' && at(i + 1) == Some('r'));
+            let mut j = i + 1;
+            if c == 'b' && at(j) == Some('r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while is_raw && at(j) == Some('#') {
+                hashes += 1;
+                j += 1;
+            }
+            if at(j) == Some('"') && is_raw {
+                i = scan_raw_string(&at, n, j + 1, hashes);
+                TokenKind::Str
+            } else if c == 'b' && at(i + 1) == Some('"') {
+                // Byte string b"…" — escapes work like a regular string.
+                i = scan_string(&at, n, i + 1);
+                TokenKind::Str
+            } else if c == 'b' && at(i + 1) == Some('\'') {
+                // Byte literal b'x' — always a char literal, never a lifetime.
+                i = scan_char_body(&at, n, i + 1);
+                TokenKind::Char
+            } else if c == 'r' && hashes == 1 && at(i + 2).is_some_and(is_ident_start) {
+                // Raw identifier r#match.
+                i += 2;
+                while at(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            } else {
+                // Plain identifier starting with r/b.
+                i += 1;
+                while at(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+        } else if c == '\'' {
+            match at(i + 1) {
+                Some(c1) if is_ident_start(c1) && at(i + 2) != Some('\'') => {
+                    // 'static, 'a — a lifetime (or a loop label; same shape).
+                    i += 1;
+                    while at(i).is_some_and(is_ident_continue) {
+                        i += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+                Some(_) => {
+                    i = scan_char_body(&at, n, i);
+                    TokenKind::Char
+                }
+                None => {
+                    i += 1;
+                    TokenKind::Punct
+                }
+            }
+        } else if c.is_ascii_digit() {
+            i += 1;
+            loop {
+                if at(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                } else if at(i) == Some('.') && at(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            TokenKind::Number
+        } else if is_ident_start(c) {
+            while at(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else {
+            i += 1;
+            TokenKind::Punct
+        };
+        debug_assert!(i > start, "lexer must always make progress");
+        if i == start {
+            i = start + 1;
+        }
+        let text = &src[off(start)..off(i)];
+        out.push(Token { kind, text, line });
+        line += text.bytes().filter(|&b| b == b'\n').count() as u32;
+    }
+    out
+}
+
+/// Scan a `"…"` string body; `i` points at the opening quote. Returns the
+/// index one past the closing quote (or `n` if unterminated).
+fn scan_string(at: &dyn Fn(usize) -> Option<char>, n: usize, mut i: usize) -> usize {
+    i += 1;
+    while i < n {
+        match at(i) {
+            Some('\\') => i = (i + 2).min(n),
+            Some('"') => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scan a raw string body; `i` points one past the opening quote and the
+/// delimiter is `"` followed by `hashes` `#`s.
+fn scan_raw_string(
+    at: &dyn Fn(usize) -> Option<char>,
+    n: usize,
+    mut i: usize,
+    hashes: usize,
+) -> usize {
+    while i < n {
+        if at(i) == Some('"') {
+            let mut k = 0usize;
+            while k < hashes && at(i + 1 + k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Scan a char/byte literal body; `i` points at the opening quote. Bounded
+/// by the next unescaped quote, newline, or EOF so a stray `'` cannot
+/// swallow the rest of the file.
+fn scan_char_body(at: &dyn Fn(usize) -> Option<char>, n: usize, mut i: usize) -> usize {
+    i += 1;
+    while i < n {
+        match at(i) {
+            Some('\\') => i = (i + 2).min(n),
+            Some('\'') => return i + 1,
+            Some('\n') => return i,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn spans_cover_input() {
+        let src = "fn main() { let x = \"a\\\"b\"; /* c /* d */ */ }";
+        let joined: String = lex(src).iter().map(|t| t.text).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'")[0], (TokenKind::Char, "'a'"));
+        assert_eq!(kinds("'static ")[0], (TokenKind::Lifetime, "'static"));
+        assert_eq!(kinds("&'a str")[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(kinds("'\\''")[0], (TokenKind::Char, "'\\''"));
+        assert_eq!(kinds("b'x'")[0], (TokenKind::Char, "b'x'"));
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        assert_eq!(kinds("r\"a\"")[0], (TokenKind::Str, "r\"a\""));
+        assert_eq!(kinds("r##\"a\"# b\"##")[0], (TokenKind::Str, "r##\"a\"# b\"##"));
+        assert_eq!(kinds("br\"a\"")[0], (TokenKind::Str, "br\"a\""));
+        assert_eq!(kinds("r#match ")[0], (TokenKind::Ident, "r#match"));
+        assert_eq!(kinds("b\"bytes\"")[0], (TokenKind::Str, "b\"bytes\""));
+    }
+
+    #[test]
+    fn comments_nest_and_line_numbers_advance() {
+        let toks = lex("a\n/* x /* y */ z */\nb");
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::BlockComment));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        assert_eq!(kinds("\"abc")[0], (TokenKind::Str, "\"abc"));
+        assert_eq!(kinds("/* abc")[0], (TokenKind::BlockComment, "/* abc"));
+        assert_eq!(kinds("r#\"abc")[0], (TokenKind::Str, "r#\"abc"));
+    }
+
+    #[test]
+    fn numbers_with_ranges() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokenKind::Number, "0"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[3], (TokenKind::Number, "10"));
+        assert_eq!(kinds("1.5e3")[0], (TokenKind::Number, "1.5e3"));
+        assert_eq!(kinds("0xff_u64")[0], (TokenKind::Number, "0xff_u64"));
+    }
+}

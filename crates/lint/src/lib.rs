@@ -1,0 +1,30 @@
+//! `camelot-lint` — in-repo domain-invariant static analysis for the
+//! Camelot workspace.
+//!
+//! The general-purpose toolchain (clippy, rustc lints) cannot express the
+//! invariants this codebase actually lives or dies by: a hostile frame must
+//! never panic a broadcast worker (an uninjected `Crash` breaks the paper's
+//! fault model), and a `%` reduction or stray allocation must never creep
+//! back into the Barrett/Shoup/NTT kernels that PR 3 and PR 6 tuned by
+//! hand. This crate checks those invariants lexically, with zero external
+//! dependencies (the workspace has no crates.io access): a small total Rust
+//! lexer ([`lexer`]), a rule engine ([`rules`]), a justified allowlist
+//! ([`config`]), and table/JSON reporting ([`report`]). The `camelot-lint`
+//! binary wires them into a CI gate.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p camelot-lint                 # gate: exit 0 clean, 1 findings
+//! cargo run -p camelot-lint -- --json r.json
+//! cargo run -p camelot-lint -- --root crates/lint/tests/fixtures --all-paths
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;

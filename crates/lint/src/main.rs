@@ -1,0 +1,195 @@
+//! The `camelot-lint` CLI: walk the workspace sources, run the rule engine,
+//! apply the justified allowlist, emit reports, and gate CI.
+//!
+//! Exit codes: `0` clean (every finding allowlisted), `1` blocking findings,
+//! `2` usage or configuration error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use camelot_lint::config::{apply_allowlist, parse, Config};
+use camelot_lint::report::Report;
+use camelot_lint::rules::{lint_file, Finding};
+
+const USAGE: &str = "\
+camelot-lint — domain-invariant static analysis for the Camelot workspace
+
+USAGE:
+    camelot-lint [--root DIR] [--config PATH] [--json PATH] [--all-paths]
+
+OPTIONS:
+    --root DIR      Directory to lint (default: current directory). In the
+                    default mode, scans ROOT/src and ROOT/crates/*/src.
+    --config PATH   Allowlist/scope config (default: ROOT/camelot-lint.toml;
+                    built-in scopes are used when the file does not exist).
+    --json PATH     Also write a machine-readable JSON report.
+    --all-paths     Scan every .rs file under ROOT and apply every rule to
+                    every file (fixture/smoke mode; ignores [paths] scopes).
+    --help          Show this help.
+";
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: Option<PathBuf>,
+    all_paths: bool,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options { root: PathBuf::from("."), config: None, json: None, all_paths: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--all-paths" => opts.all_paths = true,
+            "--root" => {
+                opts.root = args.next().map(PathBuf::from).ok_or("--root needs a value")?;
+            }
+            "--config" => {
+                opts.config = Some(args.next().map(PathBuf::from).ok_or("--config needs a value")?);
+            }
+            "--json" => {
+                opts.json = Some(args.next().map(PathBuf::from).ok_or("--json needs a value")?);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("camelot-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("camelot-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let config_path = opts.config.clone().unwrap_or_else(|| opts.root.join("camelot-lint.toml"));
+    let config = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        parse(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else if opts.config.is_some() {
+        return Err(format!("config file {} does not exist", config_path.display()));
+    } else {
+        Config::default_config()
+    };
+
+    let mut scope = config.scope.clone();
+    scope.all_paths = opts.all_paths;
+
+    let files = collect_files(&opts.root, opts.all_paths)?;
+    let files_scanned = files.len();
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let rel = relative_label(&opts.root, path);
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let source = String::from_utf8_lossy(&bytes);
+        findings.extend(lint_file(&rel, &source, &scope));
+    }
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+
+    let (blocking, allowed, stale) = apply_allowlist(findings, &config.allows);
+    let report = Report {
+        root: &opts.root.display().to_string(),
+        files_scanned,
+        blocking: &blocking,
+        allowed: &allowed,
+        allows: &config.allows,
+        stale: &stale,
+    };
+    print!("{}", report.human());
+    if let Some(json_path) = &opts.json {
+        std::fs::write(json_path, report.json())
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    Ok(blocking.is_empty())
+}
+
+/// The files to lint. Default mode mirrors the workspace layout: the
+/// umbrella `src/` plus every `crates/*/src` tree (test sources live under
+/// `tests/` and are intentionally out of scope). `--all-paths` takes every
+/// `.rs` under the root, minus build output and VCS internals.
+fn collect_files(root: &Path, all_paths: bool) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    if all_paths {
+        walk(root, &mut out)?;
+    } else {
+        let umbrella = root.join("src");
+        if umbrella.is_dir() {
+            walk(&umbrella, &mut out)?;
+        }
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)
+                .map_err(|e| format!("reading {}: {e}", crates.display()))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .collect();
+            members.sort();
+            for member in members {
+                let src = member.join("src");
+                if src.is_dir() {
+                    walk(&src, &mut out)?;
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(format!(
+                "no sources found under {} (expected src/ or crates/*/src)",
+                root.display()
+            ));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// A stable, `/`-separated label for `path` relative to `root` (used in
+/// reports and matched against config prefixes and allowlist entries).
+fn relative_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}

@@ -1,0 +1,146 @@
+//! Human table + machine-readable JSON rendering of lint results.
+
+use crate::config::Allow;
+use crate::rules::Finding;
+
+/// Everything one lint run produced, ready to render.
+pub struct Report<'a> {
+    /// Root directory the walk started from (as given on the CLI).
+    pub root: &'a str,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings not covered by any allowlist entry — these fail the gate.
+    pub blocking: &'a [Finding],
+    /// Findings suppressed by an allowlist entry (with the entry's index).
+    pub allowed: &'a [(Finding, usize)],
+    /// The allowlist itself (for justifications in the JSON report).
+    pub allows: &'a [Allow],
+    /// Indices of allowlist entries that matched nothing (stale).
+    pub stale: &'a [usize],
+}
+
+impl Report<'_> {
+    /// Render the human-oriented table.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        if !self.blocking.is_empty() {
+            out.push_str("BLOCKING findings (fix, or justify in camelot-lint.toml):\n");
+            push_table(&mut out, self.blocking.iter());
+        }
+        if !self.allowed.is_empty() {
+            out.push_str("allowlisted (justified in camelot-lint.toml):\n");
+            push_table(&mut out, self.allowed.iter().map(|(f, _)| f));
+        }
+        for &i in self.stale {
+            if let Some(a) = self.allows.get(i) {
+                out.push_str(&format!(
+                    "warning: stale allowlist entry {} ({} in {}, pattern \"{}\") matched nothing — remove it\n",
+                    i + 1,
+                    a.rule,
+                    a.file,
+                    a.pattern
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "camelot-lint: {} file(s) scanned, {} blocking finding(s), {} allowlisted, {} stale allow(s)\n",
+            self.files_scanned,
+            self.blocking.len(),
+            self.allowed.len(),
+            self.stale.len()
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON report (schema version 1).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"root\": {},\n", json_str(self.root)));
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.blocking.iter().enumerate() {
+            push_sep(&mut out, i);
+            push_finding(&mut out, f, None);
+        }
+        close_list(&mut out, self.blocking.is_empty());
+        out.push_str(",\n  \"allowed\": [");
+        for (i, (f, ai)) in self.allowed.iter().enumerate() {
+            push_sep(&mut out, i);
+            let justification = self.allows.get(*ai).map(|a| a.justification.as_str());
+            push_finding(&mut out, f, justification);
+        }
+        close_list(&mut out, self.allowed.is_empty());
+        out.push_str(",\n  \"stale_allows\": [");
+        for (i, &ai) in self.stale.iter().enumerate() {
+            push_sep(&mut out, i);
+            if let Some(a) = self.allows.get(ai) {
+                out.push_str(&format!(
+                    "{{ \"rule\": {}, \"file\": {}, \"pattern\": {} }}",
+                    json_str(&a.rule),
+                    json_str(&a.file),
+                    json_str(&a.pattern)
+                ));
+            }
+        }
+        close_list(&mut out, self.stale.is_empty());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, i: usize) {
+    if i > 0 {
+        out.push(',');
+    }
+    out.push_str("\n    ");
+}
+
+fn close_list(out: &mut String, empty: bool) {
+    if !empty {
+        out.push_str("\n  ");
+    }
+    out.push(']');
+}
+
+fn push_finding(out: &mut String, f: &Finding, justification: Option<&str>) {
+    out.push_str(&format!(
+        "{{ \"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}",
+        json_str(&f.file),
+        f.line,
+        json_str(f.rule),
+        json_str(&f.message)
+    ));
+    if let Some(j) = justification {
+        out.push_str(&format!(", \"justification\": {}", json_str(j)));
+    }
+    out.push_str(" }");
+}
+
+fn push_table<'a>(out: &mut String, findings: impl Iterator<Item = &'a Finding>) {
+    for f in findings {
+        out.push_str(&format!("  {}:{}: [{}] {}\n", f.file, f.line, f.rule, f.message));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("      | {}\n", f.snippet));
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

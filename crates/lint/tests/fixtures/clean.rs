@@ -1,0 +1,28 @@
+//! camelot-lint fixture: a fully conforming file — complete shared header,
+//! no panicking constructs, a hot region with only field-op shapes in it,
+//! and every `Result` handled. Zero findings expected. Never compiled.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+fn reduce_all(q: u64, xs: &mut [u64]) -> Result<u64, String> {
+    if q == 0 {
+        return Err("zero modulus".to_string());
+    }
+    let mut acc = 0u64;
+    // lint:hot-begin(clean-kernel)
+    for x in xs.iter_mut() {
+        let s = x.wrapping_add(acc);
+        *x = s.min(s.wrapping_sub(q));
+        acc = *x;
+    }
+    // lint:hot-end
+    Ok(acc)
+}
+
+fn caller(q: u64, xs: &mut [u64]) -> u64 {
+    match reduce_all(q, xs) {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,27 @@
+//! camelot-lint fixture: the `dropped-result` rule. Never compiled.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+fn fallible() -> Result<u32, String> {
+    Err("nope".to_string())
+}
+
+fn driver() -> u32 {
+    let _ = fallible(); //~ dropped-result
+    let _ = std::fs::remove_file("scratch.txt"); //~ dropped-result
+    // Exempt shapes: a named hole documents intent to the reader, plain
+    // value discards have no Result to lose, and handling is handling.
+    let _ignored = fallible();
+    let _ = 42;
+    let ok = fallible().unwrap_or(7);
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discard_in_tests_is_fine() {
+        let _ = super::fallible();
+    }
+}

@@ -1,0 +1,34 @@
+//! camelot-lint fixture: the `hot-path` rule. Violations only count inside
+//! `lint:hot-begin/end` regions; the same constructs outside a region are
+//! exempt. Never compiled; annotations as in `panic_sites.rs`.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+fn cold_setup(xs: &[u64]) -> Vec<u64> {
+    // Outside any region: reductions and allocations are fine here.
+    let mut out = xs.to_vec();
+    out.push(xs.iter().sum::<u64>() % 97);
+    out
+}
+
+fn kernel(q: u64, xs: &mut [u64], ys: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    // lint:hot-begin(fixture-kernel)
+    for (x, &y) in xs.iter_mut().zip(ys) {
+        *x = (*x + y) % q; //~ hot-path
+        acc ^= *x;
+    }
+    let copied = ys.to_vec(); //~ hot-path
+    let cloned = copied.clone(); //~ hot-path
+    let boxed = Box::new(acc); //~ hot-path
+    let buffer = vec![0u64; 4]; //~ hot-path
+    let gathered: u64 = cloned.iter().chain(buffer.iter()).copied().sum();
+    let label = format!("{acc}"); //~ hot-path
+    // lint:hot-end
+    acc + gathered + *boxed + label.len() as u64
+}
+
+fn stray_close() {
+    // lint:hot-end //~ hot-path
+}

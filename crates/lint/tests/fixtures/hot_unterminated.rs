@@ -1,0 +1,13 @@
+//! camelot-lint fixture: region-marker bookkeeping errors are findings in
+//! their own right — an unclosed region would silently stop the rule from
+//! checking anything after it. Never compiled.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+fn outer(a: u64, b: u64) -> u64 {
+    // lint:hot-begin(outer) //~ hot-path
+    let s = a.wrapping_add(b);
+    // lint:hot-begin(inner) //~ hot-path
+    s.wrapping_mul(a) % 17 //~ hot-path
+}

@@ -1,0 +1,8 @@
+//! Fixture: crate root missing the shared header. //~ crate-header crate-header crate-header
+//!
+//! All three required attributes are absent, so `crate-header` fires three
+//! times, anchored at line 1. Never compiled.
+
+fn quiet() -> u32 {
+    7
+}

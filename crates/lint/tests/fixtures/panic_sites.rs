@@ -1,0 +1,42 @@
+//! camelot-lint fixture: the `panic-path` rule. Lines that must fire carry
+//! a tilde-marker annotation naming the rule; `tests/rules.rs` asserts the
+//! finding set equals the annotation set exactly. Never compiled.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+fn parse(input: &str) -> usize {
+    let n: usize = input.trim().parse().unwrap(); //~ panic-path
+    let first = input.bytes().next().expect("nonempty"); //~ panic-path
+    if first == b'!' {
+        panic!("bang"); //~ panic-path
+    }
+    let b = input.as_bytes()[0]; //~ panic-path
+    match b {
+        0 => unreachable!(), //~ panic-path
+        1 => todo!(), //~ panic-path
+        _ => {}
+    }
+    assert!(n > 0); //~ panic-path
+    assert_eq!(b, first); //~ panic-path
+    // Exempt constructs: debug_assert compiles out of release builds, and
+    // none of these bracket forms are index expressions.
+    debug_assert!(n > 0);
+    let _ok: &[u8] = &[1, 2, 3];
+    let _arr = [0u8; 4];
+    let v = vec![1, 2, 3];
+    let safe = v.get(0).copied().unwrap_or(0);
+    n + safe as usize
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: usize = "7".parse().unwrap();
+        assert_eq!(v, 7);
+        let bytes = b"xy";
+        let _first = bytes[0];
+        panic!("even this is fine in test code");
+    }
+}

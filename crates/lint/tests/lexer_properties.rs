@@ -1,0 +1,159 @@
+//! Property tests for the lexer's totality and span invariants.
+//!
+//! `camelot-lint` must be safe to point at *anything* — generated files,
+//! fixtures full of deliberately broken syntax, non-Rust bytes — so the
+//! lexer is hammered with adversarial input here: it must never panic, and
+//! the concatenation of token texts must reproduce the input byte for byte
+//! with monotonically nondecreasing, newline-accurate line numbers.
+//! (Hand-rolled SplitMix64 generator: the workspace has no crates.io
+//! access, so no proptest — same idiom as the repo's other property tests.)
+
+use camelot_lint::lexer::{lex, TokenKind};
+
+/// SplitMix64 — tiny deterministic RNG for property tests.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Assert the lexer invariants on one input; returns the token count.
+fn check_invariants(src: &str) -> usize {
+    let tokens = lex(src);
+    let joined: String = tokens.iter().map(|t| t.text).collect();
+    assert_eq!(joined, src, "token spans must cover the input exactly");
+    let mut line = 1u32;
+    for t in &tokens {
+        assert!(!t.text.is_empty(), "empty token");
+        assert_eq!(t.line, line, "line number drifted at {:?}", t.text);
+        line += t.text.bytes().filter(|&b| b == b'\n').count() as u32;
+    }
+    tokens.len()
+}
+
+#[test]
+fn never_panics_and_preserves_spans_on_arbitrary_bytes() {
+    let mut rng = SplitMix64(0xC0FF_EE00_D15E_A5E5);
+    for _ in 0..3000 {
+        let len = rng.below(240) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        // from_utf8_lossy mirrors exactly what the CLI does with files
+        // that are not valid UTF-8.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        check_invariants(&src);
+    }
+}
+
+#[test]
+fn never_panics_on_rust_shaped_soup() {
+    // Fragments biased toward the lexer's tricky state transitions:
+    // quote handling, raw-string hashes, nesting, escapes at EOF.
+    const FRAGMENTS: &[&str] = &[
+        "fn ",
+        "let ",
+        "x",
+        "'a",
+        "'a'",
+        "'\\''",
+        "b'",
+        "b\"",
+        "br#\"",
+        "r#\"",
+        "r##\"",
+        "\"#",
+        "\"##",
+        "r#match",
+        "\"",
+        "\\",
+        "\\\"",
+        "//",
+        "/*",
+        "*/",
+        "\n",
+        "0x1f",
+        "1.5e3",
+        "0..9",
+        "%",
+        "::",
+        "#![",
+        "#[",
+        "]",
+        "(",
+        ")",
+        "{",
+        "}",
+        ".unwrap()",
+        "é",
+        "🦀",
+        ";",
+        "=",
+        "b",
+        "r",
+        "''",
+    ];
+    let mut rng = SplitMix64(0xDEAD_BEEF_0BAD_F00D);
+    for _ in 0..3000 {
+        let pieces = rng.below(40) as usize;
+        let src: String =
+            (0..pieces).map(|_| FRAGMENTS[rng.below(FRAGMENTS.len() as u64) as usize]).collect();
+        check_invariants(&src);
+    }
+}
+
+#[test]
+fn real_sources_roundtrip() {
+    // The lexer's own source (and this test's) are real-world inputs with
+    // strings-about-strings, escapes, and raw strings in doc text.
+    for src in [
+        include_str!("../src/lexer.rs"),
+        include_str!("../src/rules.rs"),
+        include_str!("lexer_properties.rs"),
+    ] {
+        let n = check_invariants(src);
+        assert!(n > 100, "suspiciously few tokens");
+    }
+}
+
+#[test]
+fn tricky_cases_classify_correctly() {
+    // (input, kind of first token) table for the classifications rules
+    // depend on: comments and strings must never leak into code tokens.
+    let cases: &[(&str, TokenKind)] = &[
+        ("// %s.clone()", TokenKind::LineComment),
+        ("/* unwrap() */", TokenKind::BlockComment),
+        ("\"a % b\"", TokenKind::Str),
+        ("r#\"let _ = x.unwrap();\"#", TokenKind::Str),
+        ("b\"%\"", TokenKind::Str),
+        ("'%'", TokenKind::Char),
+        ("'\\n'", TokenKind::Char),
+        ("b'\\''", TokenKind::Char),
+        ("'static", TokenKind::Lifetime),
+        ("'_", TokenKind::Lifetime),
+        ("r#fn", TokenKind::Ident),
+        ("br\"\"", TokenKind::Str),
+        ("1_000u64", TokenKind::Number),
+    ];
+    for &(src, kind) in cases {
+        check_invariants(src);
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, kind, "first token of {src:?}");
+        assert_eq!(toks[0].text, src, "first token of {src:?} should cover the whole input");
+    }
+}
+
+#[test]
+fn unterminated_constructs_are_single_tokens() {
+    for src in ["\"abc", "r#\"abc", "/* a /* b */", "'", "b\"oops", "'\\"] {
+        check_invariants(src);
+    }
+}

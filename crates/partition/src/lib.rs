@@ -15,7 +15,8 @@
 //!   fast matrix multiplication (Theorem 7, §10).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod bipoly;
 mod chromatic;

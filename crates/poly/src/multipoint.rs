@@ -243,10 +243,13 @@ fn synthetic_div_linear(field: &PrimeField, l: &Poly, xi: u64) -> Poly {
     let d = cs.len() - 1;
     let mut out = vec![0u64; d];
     let mut acc = 0u64;
+    // lint:hot-begin(synthetic-division) — one fused mul-add per
+    // coefficient; the erasure-root divisions in decode run through here.
     for k in (0..d).rev() {
         acc = field.mul_add(cs[k + 1], acc, xi);
         out[k] = acc;
     }
+    // lint:hot-end
     Poly::from_reduced(out)
 }
 

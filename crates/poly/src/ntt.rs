@@ -135,6 +135,11 @@ impl NttPlan {
         false
     }
 
+    // lint:hot-begin(ntt-butterfly) — the transform kernel (and the
+    // inverse's scaling pass) dominate every fast-path product; PR 6 made
+    // the inner loop bounds-check-free and branchless. No `%`, no clones,
+    // no allocation; camelot-lint enforces this region.
+
     /// In-place forward transform.
     ///
     /// # Panics
@@ -190,6 +195,8 @@ impl NttPlan {
             span *= 2;
         }
     }
+
+    // lint:hot-end
 
     /// Multiplies two polynomials through the transform.
     ///

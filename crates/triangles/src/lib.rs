@@ -13,7 +13,8 @@
 //!   (Theorem 5).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod ayz;
 mod proof;

@@ -28,6 +28,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use camelot_algebraic as algebraic;
 pub use camelot_cliques as cliques;

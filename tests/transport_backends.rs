@@ -237,3 +237,24 @@ fn socket_engine_rejects_closure_problems() {
         other => panic!("expected TransportFailed, got {other:?}"),
     }
 }
+
+/// A panicking evaluation closure must surface as a reported
+/// `WorkerFailed` refusal on the threaded backends, never abort the
+/// coordinator — the same guarantee the socket worker gives for hostile
+/// frames, kept panic-free end to end by camelot-lint's `panic-path` rule.
+#[test]
+fn threaded_backends_report_a_panicked_node_as_worker_failure() {
+    let field = PrimeField::new(1_048_583).expect("prime");
+    let points: Vec<u64> = (0..24).collect();
+    let plan = FaultPlan::all_honest(4);
+    let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+    let eval = camelot::cluster::SingleEval(|x: u64| {
+        assert!(x != 13, "injected node failure");
+        x
+    });
+    let got = ChannelTransport::new().run(&spec, &eval);
+    match got {
+        Err(camelot::cluster::TransportError::WorkerFailed { .. }) => {}
+        other => panic!("channel: expected WorkerFailed, got {other:?}"),
+    }
+}

@@ -4,7 +4,8 @@
 //! well-formed message exactly.
 
 use camelot::cluster::{
-    encode_reply, parse_reply, EvalProgram, FaultKind, FrameBody, NodeFrames, Task,
+    encode_reply, parse_reply, serve_worker, EvalProgram, FaultKind, FrameBody, NodeFrames, Task,
+    TransportError,
 };
 use camelot::core::{Certificate, PrimeProof};
 use camelot::ff::{RngLike, SplitMix64};
@@ -245,5 +246,71 @@ fn random_frames_roundtrip_exactly() {
             body,
         };
         assert_eq!(parse_reply(&encode_reply(&frames)).unwrap(), frames, "trial {trial}");
+    }
+}
+
+/// Drive a real worker over TCP with one payload and return its verdict.
+/// The worker runs on its own thread exactly as the socket backend spawns
+/// it; a panic in `serve_worker` would poison the join and fail the test.
+fn serve_payload(payload: &[u8]) -> Result<(), TransportError> {
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let worker = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        serve_worker(stream)
+    });
+    let mut client = TcpStream::connect(addr).expect("connect");
+    client.write_all(payload).expect("send payload");
+    drop(client);
+    worker.join().expect("worker must refuse garbage, not panic")
+}
+
+#[test]
+fn worker_refuses_garbage_frames_instead_of_aborting() {
+    // Structurally hostile payloads: wrong magic, truncated task, binary
+    // noise, an unknown section, a width/points contradiction. Every one
+    // must come back as a reported refusal (a TransportError), with the
+    // worker thread alive to return it.
+    let cases: &[&[u8]] = &[
+        b"",
+        b"\n\n\n",
+        b"camelot-task v1\nend\n",
+        b"camelot-task v2\nend\n",
+        b"HTTP/1.1 GET /\r\n\r\n",
+        b"camelot-task v1\nfield 0\ncluster 0\nnode 9\nwidth 0\nend\n",
+        b"camelot-task v1\nfield 1048583\ncluster 6\nnode 4\nwidth 1\nfrobnicate\nend\n",
+        b"camelot-task v1\nfield 1048583\ncluster 6\nnode 99\nwidth 1\nprogram 0 poly 1 2\npoints 0 5\nend\n",
+        b"\xff\xfe\x00\x80garbage\nend\n",
+    ];
+    for payload in cases {
+        let got = serve_payload(payload);
+        assert!(
+            matches!(got, Err(TransportError::Protocol { .. }) | Err(TransportError::Io { .. })),
+            "worker accepted hostile payload {payload:?}: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn worker_survives_mutated_tasks_as_refusal_or_answer() {
+    // Mutations of a well-formed task frame: whatever the worker makes of
+    // them — a computed reply or a protocol refusal — it must never panic.
+    let wire = sample_task().to_wire();
+    let mut rng = SplitMix64::new(0x5EED_F00D);
+    for _ in 0..60 {
+        let mutated = mutate(&wire, &mut rng);
+        match Task::from_wire(&mutated) {
+            // Parseable mutants are served end to end over the socket.
+            Ok(_) => match serve_payload(mutated.as_bytes()) {
+                Ok(()) | Err(_) => {}
+            },
+            // Unparseable mutants must be refused over the socket too.
+            Err(_) => {
+                let got = serve_payload(mutated.as_bytes());
+                assert!(got.is_err(), "parser refused but worker accepted: {mutated:?}");
+            }
+        }
     }
 }
