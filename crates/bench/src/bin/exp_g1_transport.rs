@@ -27,7 +27,7 @@ use camelot_cluster::{
     sibling_worker_binary, ChannelTransport, EvalProgram, FaultKind, FaultPlan, InProcess,
     ProgramEval, RoundOutcome, RoundSpec, SocketTransport, Transport,
 };
-use camelot_core::{Backend, Engine, EngineConfig};
+use camelot_core::{Backend, Engine, EngineConfig, RunReport};
 use camelot_ff::{PrimeField, SplitMix64};
 use camelot_graph::{count_triangles, gen};
 use camelot_triangles::TriangleCount;
@@ -158,15 +158,12 @@ fn engine_batch_experiment(args: &Args, batch: usize) {
     let outcomes = engine.run_batch(&problems).expect("batched run");
     let elapsed = start.elapsed();
 
-    let mut table = Table::new(&[
-        "problem",
-        "triangles",
-        "rounds",
-        "symbols",
-        "bytes on wire",
-        "decode",
-        "xgcd",
-    ]);
+    // One reporting path for every experiment: the traffic columns come
+    // from RunReport itself.
+    let mut headers = vec!["problem", "triangles"];
+    headers.extend(RunReport::traffic_headers());
+    headers.extend(["decode", "xgcd"]);
+    let mut table = Table::new(&headers);
     for (i, (outcome, graph)) in outcomes.iter().zip(&graphs).enumerate() {
         assert_eq!(outcome.output, count_triangles(graph), "batched output diverged");
         assert_eq!(
@@ -174,15 +171,17 @@ fn engine_batch_experiment(args: &Args, batch: usize) {
             outcome.report.primes.len(),
             "a batch must run exactly one broadcast round per prime"
         );
-        table.row(&[
-            i.to_string(),
-            outcome.output.to_string(),
-            outcome.report.rounds.to_string(),
-            outcome.report.symbols_broadcast.to_string(),
-            outcome.report.bytes_on_wire.to_string(),
+        assert_eq!(
+            outcome.report.coalesced_requests, batch,
+            "every batch member must report the shared admission size"
+        );
+        let mut row = vec![i.to_string(), outcome.output.to_string()];
+        row.extend(outcome.report.traffic_cells());
+        row.extend([
             fmt_duration(outcome.report.decode_time),
             fmt_duration(outcome.report.xgcd_time),
         ]);
+        table.row(&row);
     }
     table.print(&format!(
         "G1: Engine::run_batch of {batch} problems on the channel backend ({}, shared rounds)",

@@ -10,19 +10,26 @@
 //! ```text
 //! camelot-node --connect 127.0.0.1:PORT
 //! ```
+//!
+//! With `--persist` the node keeps the connection and serves tasks
+//! until the coordinator sends a `camelot-shutdown v1` frame (or closes
+//! the connection at a message boundary) — the persistent-worker-pool
+//! mode used by `camelot-serve`.
 
-use camelot_cluster::serve_worker;
+use camelot_cluster::{serve_worker, serve_worker_loop};
 use std::net::TcpStream;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut addr = None;
+    let mut persist = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => addr = args.next(),
+            "--persist" => persist = true,
             "--help" | "-h" => {
-                println!("usage: camelot-node --connect HOST:PORT");
+                println!("usage: camelot-node --connect HOST:PORT [--persist]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -42,7 +49,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match serve_worker(stream) {
+    let served = if persist { serve_worker_loop(stream) } else { serve_worker(stream) };
+    match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("camelot-node: {err}");

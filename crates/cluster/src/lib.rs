@@ -41,9 +41,10 @@ pub use round::{
     SingleEval,
 };
 pub use transport::{
-    encode_reply, execute_task, frame_wire_cost, parse_reply, serve_worker, sibling_worker_binary,
-    Backend, ChannelTransport, ClusterConfig, EvalProgram, InProcess, SocketTransport, Task,
-    Transport, TransportError, WorkerMode, REPLY_HEADER, TASK_HEADER,
+    control_frame, encode_reply, execute_task, frame_wire_cost, parse_reply, serve_worker,
+    serve_worker_loop, sibling_binary, sibling_worker_binary, Backend, ChannelTransport,
+    ClusterConfig, EvalProgram, InProcess, SocketTransport, Task, Transport, TransportError,
+    WorkerMode, WorkerPool, PING_HEADER, PONG_HEADER, REPLY_HEADER, SHUTDOWN_HEADER, TASK_HEADER,
 };
 
 use camelot_ff::PrimeField;

@@ -39,11 +39,13 @@
 
 mod channel;
 mod inproc;
+mod pool;
 mod socket;
 
 pub use channel::ChannelTransport;
 pub use inproc::InProcess;
-pub use socket::{serve_worker, SocketTransport, WorkerMode};
+pub use pool::WorkerPool;
+pub use socket::{serve_worker, serve_worker_loop, SocketTransport, WorkerMode};
 
 use crate::fault::FaultKind;
 use crate::round::{FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
@@ -210,15 +212,16 @@ impl ClusterConfig {
     }
 }
 
-/// Resolves the `camelot-node` worker binary next to the current
-/// executable (all workspace binaries land in the same target
-/// directory), for process-spanning socket rounds.
+/// Resolves a sibling workspace binary next to the current executable
+/// (all workspace binaries land in the same target directory) — e.g.
+/// `camelot-node` for process-spanning socket rounds, `camelot-serve`
+/// for daemon experiments.
 #[must_use]
-pub fn sibling_worker_binary() -> Option<PathBuf> {
+pub fn sibling_binary(name: &str) -> Option<PathBuf> {
     let exe = std::env::current_exe().ok()?;
     let dir = exe.parent()?;
     for dir in [dir, dir.parent()?] {
-        let candidate = dir.join("camelot-node");
+        let candidate = dir.join(name);
         if candidate.is_file() {
             return Some(candidate);
         }
@@ -226,14 +229,35 @@ pub fn sibling_worker_binary() -> Option<PathBuf> {
     None
 }
 
+/// Resolves the `camelot-node` worker binary next to the current
+/// executable, for process-spanning socket rounds.
+#[must_use]
+pub fn sibling_worker_binary() -> Option<PathBuf> {
+    sibling_binary("camelot-node")
+}
+
 // ---------------------------------------------------------------------
-// The v1 frame format: task and reply messages.
+// The v1 frame format: task, reply, and control messages.
 // ---------------------------------------------------------------------
 
 /// Magic header of a task message.
 pub const TASK_HEADER: &str = "camelot-task v1";
 /// Magic header of a reply message.
 pub const REPLY_HEADER: &str = "camelot-reply v1";
+/// Control frame: the coordinator tells a persistent worker to exit
+/// cleanly (replaces best-effort process kill as the teardown path).
+pub const SHUTDOWN_HEADER: &str = "camelot-shutdown v1";
+/// Control frame: health-check probe to a persistent worker.
+pub const PING_HEADER: &str = "camelot-ping v1";
+/// Control frame: a live worker's answer to a ping.
+pub const PONG_HEADER: &str = "camelot-pong v1";
+
+/// The one-line body of a control frame (`<header>\nend\n`), shared by
+/// the shutdown/ping/pong messages of the persistent worker protocol.
+#[must_use]
+pub fn control_frame(header: &str) -> String {
+    format!("{header}\nend\n")
+}
 
 /// One node's work order for a round, as shipped to a worker.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,393 @@
+//! The persistent worker pool behind [`SocketTransport::persistent`]:
+//! long-lived loopback workers that outlive individual rounds.
+//!
+//! Each lane is one worker (thread or spawned `camelot-node --persist`
+//! process) holding one TCP connection for its whole life. Rounds write
+//! a [`Task`] frame down every lane and read one reply back; between
+//! rounds the lanes idle inside [`serve_worker_loop`]. Health checks
+//! use `camelot-ping v1`/`camelot-pong v1`, and teardown is always an
+//! explicit `camelot-shutdown v1` frame followed by a join/reap — the
+//! only hard kill in the module is the [`WorkerPool::kill_worker`]
+//! chaos hook, whose entire purpose is simulating a crashed node.
+//!
+//! [`SocketTransport::persistent`]: crate::transport::SocketTransport::persistent
+//! [`Task`]: crate::transport::Task
+
+use crate::round::{NodeFrames, RoundSpec};
+use crate::transport::socket::{
+    accept_with_deadline, io_err, read_message, serve_worker_loop, task_for_node, validate_reply,
+    WorkerMode, SOCKET_TIMEOUT,
+};
+use crate::transport::{
+    control_frame, parse_reply, EvalProgram, TransportError, PING_HEADER, PONG_HEADER,
+    SHUTDOWN_HEADER,
+};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+
+/// One long-lived worker: its task/reply connection plus the handle
+/// needed to reap it (a child process or a join handle, per mode).
+#[derive(Debug)]
+struct PoolLane {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    child: Option<Child>,
+    thread: Option<JoinHandle<Result<(), TransportError>>>,
+}
+
+impl PoolLane {
+    /// Health check: one ping frame down, one pong frame back.
+    fn ping(&mut self) -> bool {
+        let delivered = self
+            .stream
+            .write_all(control_frame(PING_HEADER).as_bytes())
+            .and_then(|()| self.stream.flush());
+        if delivered.is_err() {
+            return false;
+        }
+        match read_message(&mut self.reader) {
+            Ok(text) => text.lines().next() == Some(PONG_HEADER),
+            Err(_) => false,
+        }
+    }
+
+    /// Best-effort teardown for a lane being replaced or scrapped.
+    /// There is no error channel here by design: a lane is only retired
+    /// when it already failed (or the whole round did), and closing the
+    /// streams is an equally valid shutdown signal (EOF) when the frame
+    /// cannot be delivered.
+    fn retire(mut self) {
+        let _delivered = self
+            .stream
+            .write_all(control_frame(SHUTDOWN_HEADER).as_bytes())
+            .and_then(|()| self.stream.flush());
+        drop(self.reader);
+        drop(self.stream);
+        if let Some(mut child) = self.child.take() {
+            let _reaped = child.wait();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _joined = thread.join();
+        }
+    }
+}
+
+/// A pool of `K` persistent socket workers sharing one coordinator
+/// listener. Started lazily by [`SocketTransport::persistent`] on the
+/// first round; every later round reuses the same connections until an
+/// explicit shutdown.
+///
+/// [`SocketTransport::persistent`]: crate::transport::SocketTransport::persistent
+#[derive(Debug)]
+pub struct WorkerPool {
+    listener: TcpListener,
+    addr: SocketAddr,
+    mode: WorkerMode,
+    /// One slot per node; `None` marks a lane that is down (killed or
+    /// scrapped) and awaiting [`WorkerPool::ensure_ready`].
+    lanes: Vec<Option<PoolLane>>,
+    respawns: usize,
+}
+
+impl WorkerPool {
+    /// Starts a pool of `nodes` persistent workers in the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Worker spawn/handshake failures; workers already started are
+    /// shut down gracefully before the error returns.
+    pub fn start(mode: WorkerMode, nodes: usize) -> Result<WorkerPool, TransportError> {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding listener", &e))?;
+        let addr = listener.local_addr().map_err(|e| io_err("local addr", &e))?;
+        let mut pool = WorkerPool { listener, addr, mode, lanes: Vec::new(), respawns: 0 };
+        for node in 0..nodes {
+            // On failure the partial pool is dropped, and Drop shuts
+            // the already-started lanes down gracefully.
+            let lane = pool.spawn_lane(node)?;
+            pool.lanes.push(Some(lane));
+        }
+        Ok(pool)
+    }
+
+    /// The cluster size this pool was started for.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lifetime count of lanes respawned by [`WorkerPool::ensure_ready`].
+    #[must_use]
+    pub fn respawns(&self) -> usize {
+        self.respawns
+    }
+
+    /// Number of lanes currently holding a live worker.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.lanes.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Spawns one worker and completes its handshake (the worker
+    /// connects back to the pool listener).
+    fn spawn_lane(&self, node: usize) -> Result<PoolLane, TransportError> {
+        let addr = self.addr;
+        let mut child: Option<Child> = None;
+        let mut thread = None;
+        match &self.mode {
+            WorkerMode::Threads => {
+                thread = Some(std::thread::spawn(move || {
+                    let stream =
+                        TcpStream::connect(addr).map_err(|e| io_err("worker connect", &e))?;
+                    serve_worker_loop(stream)
+                }));
+            }
+            WorkerMode::Process(bin) => {
+                let spawned = Command::new(bin)
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .arg("--persist")
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|err| TransportError::WorkerFailed {
+                        node,
+                        reason: format!("spawning {}: {err}", bin.display()),
+                    })?;
+                child = Some(spawned);
+            }
+        }
+        let children: &mut [Child] = match child.as_mut() {
+            Some(child) => std::slice::from_mut(child),
+            None => &mut [],
+        };
+        let accepted = accept_with_deadline(&self.listener, children).map_err(|err| match err {
+            // accept_with_deadline indexes into its slice of one.
+            TransportError::WorkerFailed { reason, .. } => {
+                TransportError::WorkerFailed { node, reason }
+            }
+            other => other,
+        });
+        let stream = match accepted {
+            Ok(stream) => stream,
+            Err(err) => {
+                if let Some(mut child) = child {
+                    // The worker failed its handshake, so there is no
+                    // connection to send a shutdown frame down; a hard
+                    // kill is the only way to avoid leaking it (best
+                    // effort — it is most likely already gone).
+                    let _killed = child.kill();
+                    let _reaped = child.wait();
+                }
+                return Err(err);
+            }
+        };
+        stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", &e))?);
+        Ok(PoolLane { stream, reader, child, thread })
+    }
+
+    /// Health-checks every lane and respawns the dead ones. Returns how
+    /// many lanes were respawned.
+    ///
+    /// # Errors
+    ///
+    /// A respawn failure (e.g. the worker binary disappeared); lanes
+    /// already respawned stay live.
+    pub fn ensure_ready(&mut self) -> Result<usize, TransportError> {
+        let mut dead = Vec::new();
+        for (node, slot) in self.lanes.iter_mut().enumerate() {
+            let alive = match slot.as_mut() {
+                Some(lane) => lane.ping(),
+                None => false,
+            };
+            if !alive {
+                if let Some(lane) = slot.take() {
+                    lane.retire();
+                }
+                dead.push(node);
+            }
+        }
+        for node in dead.iter().copied() {
+            let lane = self.spawn_lane(node)?;
+            if let Some(slot) = self.lanes.get_mut(node) {
+                *slot = Some(lane);
+                self.respawns += 1;
+            }
+        }
+        Ok(dead.len())
+    }
+
+    /// Runs one broadcast round over the persistent lanes: writes every
+    /// node's task first (workers compute concurrently), then drains
+    /// and validates the replies in lane order.
+    ///
+    /// # Errors
+    ///
+    /// A down lane or a worker I/O/protocol failure surfaces as
+    /// [`TransportError::WorkerFailed`] naming the node. Any failure
+    /// scraps *all* lanes — survivors may hold undelivered tasks or
+    /// unread replies, so their streams are no longer at a frame
+    /// boundary — and the next [`WorkerPool::ensure_ready`] brings the
+    /// pool back byte-aligned.
+    pub fn run_round(
+        &mut self,
+        spec: &RoundSpec<'_>,
+        programs: &[EvalProgram],
+    ) -> Result<Vec<NodeFrames>, TransportError> {
+        let nodes = self.lanes.len();
+        let e = spec.points.len();
+        for node in 0..nodes {
+            let wire = task_for_node(spec, programs, nodes, node).to_wire();
+            let delivered = match self.lanes.get_mut(node).and_then(Option::as_mut) {
+                None => Err(TransportError::WorkerFailed {
+                    node,
+                    reason: "lane is down (awaiting respawn)".to_string(),
+                }),
+                Some(lane) => lane
+                    .stream
+                    .write_all(wire.as_bytes())
+                    .and_then(|()| lane.stream.flush())
+                    .map_err(|err| TransportError::WorkerFailed {
+                        node,
+                        reason: format!("writing task: {err}"),
+                    }),
+            };
+            if let Err(err) = delivered {
+                return Err(self.fail_round(err));
+            }
+        }
+        let mut frames = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            let reply = match self.lanes.get_mut(node).and_then(Option::as_mut) {
+                None => Err(TransportError::WorkerFailed {
+                    node,
+                    reason: "lane is down (awaiting respawn)".to_string(),
+                }),
+                Some(lane) => read_message(&mut lane.reader)
+                    .and_then(|text| parse_reply(&text))
+                    .map_err(|err| TransportError::WorkerFailed {
+                        node,
+                        reason: format!("reading reply: {err}"),
+                    })
+                    .and_then(|reply| {
+                        validate_reply(&reply, node, nodes, e, programs.len()).map(|()| reply)
+                    }),
+            };
+            match reply {
+                Ok(reply) => frames.push(reply),
+                Err(err) => return Err(self.fail_round(err)),
+            }
+        }
+        Ok(frames)
+    }
+
+    /// A round failed mid-flight: scrap every lane (graceful retire) so
+    /// no stale buffered reply can desynchronise a later round, and
+    /// pass the failure through.
+    fn fail_round(&mut self, err: TransportError) -> TransportError {
+        for slot in &mut self.lanes {
+            if let Some(lane) = slot.take() {
+                lane.retire();
+            }
+        }
+        err
+    }
+
+    /// Chaos hook: forcibly takes down worker `node` — a hard kill for
+    /// a process worker, a disconnect for a thread worker (which then
+    /// exits on EOF). The slot stays empty, so the next round reports
+    /// [`TransportError::WorkerFailed`] until
+    /// [`WorkerPool::ensure_ready`] respawns the lane.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Protocol`] for an out-of-range node, I/O
+    /// failures from the kill/reap.
+    pub fn kill_worker(&mut self, node: usize) -> Result<(), TransportError> {
+        let Some(slot) = self.lanes.get_mut(node) else {
+            return Err(TransportError::Protocol { reason: format!("pool has no worker {node}") });
+        };
+        let Some(mut lane) = slot.take() else {
+            return Ok(()); // already down
+        };
+        if let Some(mut child) = lane.child.take() {
+            // The one intentional hard kill: this hook simulates a
+            // crashed node, so graceful shutdown is off the table.
+            child.kill().map_err(|e| io_err("killing worker", &e))?;
+            child.wait().map_err(|e| io_err("reaping worker", &e))?;
+        }
+        drop(lane.reader);
+        drop(lane.stream);
+        if let Some(thread) = lane.thread.take() {
+            // A thread worker unblocks promptly: its connection is gone.
+            let _joined = thread.join();
+        }
+        Ok(())
+    }
+
+    /// Shuts every lane down gracefully: explicit shutdown frame, close
+    /// the connection, join/reap the worker. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// The first teardown failure — a worker that exited uncleanly or
+    /// could not be reaped; the remaining lanes are still drained.
+    pub fn shutdown(&mut self) -> Result<(), TransportError> {
+        let mut first_err: Option<TransportError> = None;
+        for (node, slot) in self.lanes.iter_mut().enumerate() {
+            let Some(mut lane) = slot.take() else { continue };
+            // A delivery failure just means the worker is already gone,
+            // which the wait/join below will report.
+            let _delivered = lane
+                .stream
+                .write_all(control_frame(SHUTDOWN_HEADER).as_bytes())
+                .and_then(|()| lane.stream.flush());
+            drop(lane.reader);
+            drop(lane.stream);
+            if let Some(mut child) = lane.child.take() {
+                match child.wait() {
+                    Ok(status) if status.success() => {}
+                    Ok(status) => keep_first(
+                        &mut first_err,
+                        TransportError::WorkerFailed {
+                            node,
+                            reason: format!("exit status {status}"),
+                        },
+                    ),
+                    Err(e) => keep_first(&mut first_err, io_err("waiting for worker", &e)),
+                }
+            }
+            if let Some(thread) = lane.thread.take() {
+                match thread.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => keep_first(&mut first_err, e),
+                    Err(_) => keep_first(
+                        &mut first_err,
+                        TransportError::Protocol { reason: "worker thread panicked".to_string() },
+                    ),
+                }
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Last-resort teardown for pools dropped without an explicit
+        // shutdown (e.g. a failed start); errors have nowhere to go.
+        let _teardown = self.shutdown();
+    }
+}
+
+/// Records `err` only if no earlier error was recorded.
+fn keep_first(slot: &mut Option<TransportError>, err: TransportError) {
+    if slot.is_none() {
+        *slot = Some(err);
+    }
+}

@@ -13,18 +13,25 @@
 //! Socket rounds require wire-expressible polynomials
 //! ([`RoundEval::programs`]); closures cannot cross a process boundary.
 
-use crate::round::{assemble_round, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
-use crate::transport::{encode_reply, execute_task, parse_reply, Task, Transport, TransportError};
+use crate::round::{
+    assemble_round, node_slice, FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
+};
+use crate::transport::pool::WorkerPool;
+use crate::transport::{
+    control_frame, encode_reply, execute_task, parse_reply, EvalProgram, Task, Transport,
+    TransportError, PING_HEADER, PONG_HEADER, SHUTDOWN_HEADER,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// How long the coordinator waits on any single socket operation before
 /// declaring a worker dead (loopback rounds complete in milliseconds;
 /// this only bounds pathological hangs).
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
+pub(crate) const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// How socket workers are started.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,57 +44,161 @@ pub enum WorkerMode {
 }
 
 /// The loopback-socket backend.
+///
+/// Per-round by default: `run` starts `K` fresh workers, drives the
+/// round, and tears everything down gracefully. In *persistent* mode
+/// ([`SocketTransport::persistent`]) the transport lazily starts a
+/// [`WorkerPool`] whose workers outlive rounds ([`serve_worker_loop`]),
+/// and every subsequent round reuses the same connections until an
+/// explicit [`SocketTransport::shutdown_pool`].
 #[derive(Clone, Debug)]
 pub struct SocketTransport {
     mode: WorkerMode,
+    /// Shared persistent pool state (`None` entries mean "not started
+    /// yet"); absent entirely for the classic per-round transport.
+    pool: Option<Arc<Mutex<Option<WorkerPool>>>>,
 }
 
 impl SocketTransport {
-    /// A socket transport with the given worker mode.
+    /// A per-round socket transport with the given worker mode.
     #[must_use]
     pub fn new(mode: WorkerMode) -> Self {
-        SocketTransport { mode }
+        SocketTransport { mode, pool: None }
     }
 
-    /// A socket transport backed by in-process worker threads.
+    /// A per-round socket transport backed by in-process worker threads.
     #[must_use]
     pub fn loopback() -> Self {
         SocketTransport::new(WorkerMode::Threads)
     }
 
-    /// A socket transport spawning `camelot-node` worker processes.
+    /// A per-round socket transport spawning `camelot-node` worker
+    /// processes.
     #[must_use]
     pub fn with_worker_binary(path: PathBuf) -> Self {
         SocketTransport::new(WorkerMode::Process(path))
     }
+
+    /// A persistent socket transport: the first round starts a
+    /// [`WorkerPool`] sized to the round's cluster, and later rounds
+    /// reuse its long-lived workers. Clones share the same pool.
+    #[must_use]
+    pub fn persistent(mode: WorkerMode) -> Self {
+        SocketTransport { mode, pool: Some(Arc::new(Mutex::new(None))) }
+    }
+
+    /// Locks the persistent pool state (`None` for per-round transports).
+    fn pool_state(&self) -> Option<std::sync::MutexGuard<'_, Option<WorkerPool>>> {
+        self.pool.as_ref().map(|cell| cell.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Gracefully shuts the persistent pool down: every worker receives
+    /// an explicit shutdown frame and is joined/reaped — never killed.
+    /// A no-op for per-round transports or an unstarted pool.
+    ///
+    /// # Errors
+    ///
+    /// The first teardown failure (a worker that exited uncleanly).
+    pub fn shutdown_pool(&self) -> Result<(), TransportError> {
+        match self.pool_state().as_mut().and_then(|guard| guard.take()) {
+            Some(mut pool) => pool.shutdown(),
+            None => Ok(()),
+        }
+    }
+
+    /// Health-checks the persistent pool: pings every lane and respawns
+    /// dead workers. Returns how many lanes were respawned (0 when the
+    /// pool is healthy or not started).
+    ///
+    /// # Errors
+    ///
+    /// A respawn failure (e.g. the worker binary disappeared).
+    pub fn repair_pool(&self) -> Result<usize, TransportError> {
+        match self.pool_state().as_mut().map(|guard| guard.as_mut().map(WorkerPool::ensure_ready)) {
+            Some(Some(result)) => result,
+            _ => Ok(0),
+        }
+    }
+
+    /// Lifetime count of pool worker respawns (0 without a pool).
+    #[must_use]
+    pub fn pool_respawns(&self) -> usize {
+        match self.pool_state().as_ref().map(|guard| guard.as_ref().map(WorkerPool::respawns)) {
+            Some(Some(n)) => n,
+            _ => 0,
+        }
+    }
+
+    /// Number of currently live pool workers (0 without a pool).
+    #[must_use]
+    pub fn pool_live_workers(&self) -> usize {
+        match self.pool_state().as_ref().map(|guard| guard.as_ref().map(WorkerPool::live_workers)) {
+            Some(Some(n)) => n,
+            _ => 0,
+        }
+    }
+
+    /// Chaos hook: forcibly takes down pool worker `node` (hard-kills a
+    /// process worker, disconnects a thread worker), simulating a crash.
+    /// The next round reports [`TransportError::WorkerFailed`] for that
+    /// node until [`SocketTransport::repair_pool`] respawns it.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Protocol`] when no pool is running or the node
+    /// is out of range.
+    pub fn kill_pool_worker(&self, node: usize) -> Result<(), TransportError> {
+        match self.pool_state().as_mut().map(|guard| guard.as_mut()) {
+            Some(Some(pool)) => pool.kill_worker(node),
+            _ => Err(TransportError::Protocol {
+                reason: "no persistent worker pool is running".to_string(),
+            }),
+        }
+    }
 }
 
-fn io_err(what: &str, err: &std::io::Error) -> TransportError {
+pub(crate) fn io_err(what: &str, err: &std::io::Error) -> TransportError {
     TransportError::Io { reason: format!("{what}: {err}") }
 }
 
 /// Reads one v1 message (through its `end` line) from a buffered
-/// stream.
-fn read_message<R: BufRead>(reader: &mut R) -> Result<String, TransportError> {
+/// stream; `Ok(None)` on a clean EOF at a message boundary.
+pub(crate) fn read_message_or_eof<R: BufRead>(
+    reader: &mut R,
+) -> Result<Option<String>, TransportError> {
     let mut text = String::new();
     loop {
         let mut line = String::new();
         let n = reader.read_line(&mut line).map_err(|e| io_err("reading message", &e))?;
         if n == 0 {
+            if text.is_empty() {
+                return Ok(None);
+            }
             return Err(TransportError::Protocol {
                 reason: "connection closed mid-message".to_string(),
             });
         }
         text.push_str(&line);
         if line.trim_end() == "end" {
-            return Ok(text);
+            return Ok(Some(text));
         }
     }
 }
 
+/// Reads one v1 message (through its `end` line) from a buffered
+/// stream; EOF anywhere is an error.
+pub(crate) fn read_message<R: BufRead>(reader: &mut R) -> Result<String, TransportError> {
+    match read_message_or_eof(reader)? {
+        Some(text) => Ok(text),
+        None => Err(TransportError::Protocol {
+            reason: "connection closed before the message".to_string(),
+        }),
+    }
+}
+
 /// Serves one task on an accepted connection: read the task, execute
-/// it, reply. The entire worker side of the protocol — the
-/// `camelot-node` binary is a thin wrapper around this.
+/// it, reply. The single-round worker side of the protocol — spawned
+/// per round by the per-round transport.
 ///
 /// # Errors
 ///
@@ -104,11 +215,104 @@ pub fn serve_worker(stream: TcpStream) -> Result<(), TransportError> {
         .map_err(|e| io_err("writing reply", &e))
 }
 
+/// Serves tasks on one connection until the coordinator sends an
+/// explicit `camelot-shutdown v1` frame or closes the connection at a
+/// message boundary (both are clean exits). `camelot-ping v1` frames
+/// are answered with `camelot-pong v1` — the pool's health check. The
+/// entire persistent worker side of the protocol; `camelot-node
+/// --persist` is a thin wrapper around this.
+///
+/// # Errors
+///
+/// I/O failures, malformed tasks, and mid-message disconnects.
+pub fn serve_worker_loop(stream: TcpStream) -> Result<(), TransportError> {
+    // Persistent workers idle between rounds for arbitrarily long; only
+    // the coordinator decides when they exit (shutdown frame or EOF).
+    stream.set_read_timeout(None).map_err(|e| io_err("set timeout", &e))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", &e))?);
+    let mut stream = stream;
+    loop {
+        let Some(text) = read_message_or_eof(&mut reader)? else {
+            return Ok(());
+        };
+        match text.lines().next() {
+            Some(SHUTDOWN_HEADER) => return Ok(()),
+            Some(PING_HEADER) => {
+                stream
+                    .write_all(control_frame(PONG_HEADER).as_bytes())
+                    .and_then(|()| stream.flush())
+                    .map_err(|e| io_err("writing pong", &e))?;
+            }
+            _ => {
+                let task = Task::from_wire(&text)?;
+                let frames = execute_task(&task);
+                stream
+                    .write_all(encode_reply(&frames).as_bytes())
+                    .and_then(|()| stream.flush())
+                    .map_err(|e| io_err("writing reply", &e))?;
+            }
+        }
+    }
+}
+
+/// Builds node `node`'s work order for one round: its balanced slice of
+/// the evaluation points plus the round-wide parameters. Shared by the
+/// per-round transport and the persistent [`WorkerPool`].
+pub(crate) fn task_for_node(
+    spec: &RoundSpec<'_>,
+    programs: &[EvalProgram],
+    nodes: usize,
+    node: usize,
+) -> Task {
+    let (lo, hi) = node_slice(spec.points.len(), nodes, node);
+    Task {
+        modulus: spec.field.modulus(),
+        nodes,
+        node,
+        fault: spec.plan.kind(node),
+        programs: programs.to_vec(),
+        lo,
+        points: spec.points[lo..hi].to_vec(),
+    }
+}
+
+/// Validates one worker's (untrusted) reply against its task shape
+/// before it reaches the shared assembly, which treats frames as
+/// well-formed: right node id, exactly the assigned slice across all
+/// polynomials, full receiver coverage.
+pub(crate) fn validate_reply(
+    reply: &NodeFrames,
+    node: usize,
+    nodes: usize,
+    e: usize,
+    width: usize,
+) -> Result<(), TransportError> {
+    let (lo, hi) = node_slice(e, nodes, node);
+    let expected = (hi - lo) * width;
+    let (body_len, receivers) = match &reply.body {
+        FrameBody::Uniform(symbols) => (symbols.len(), nodes),
+        FrameBody::PerReceiver { base, per_receiver } => (base.len(), per_receiver.len()),
+    };
+    if reply.node != node || reply.evaluations != expected || body_len != expected {
+        return Err(TransportError::Protocol {
+            reason: format!("reply from worker {node} does not match its task"),
+        });
+    }
+    if receivers != nodes {
+        return Err(TransportError::Protocol {
+            reason: format!("reply from worker {node} does not cover the cluster"),
+        });
+    }
+    Ok(())
+}
+
 impl Transport for SocketTransport {
     fn name(&self) -> &'static str {
-        match self.mode {
-            WorkerMode::Threads => "socket",
-            WorkerMode::Process(_) => "socket-process",
+        match (&self.mode, &self.pool) {
+            (WorkerMode::Threads, None) => "socket",
+            (WorkerMode::Process(_), None) => "socket-process",
+            (WorkerMode::Threads, Some(_)) => "socket-pool",
+            (WorkerMode::Process(_), Some(_)) => "socket-process-pool",
         }
     }
 
@@ -120,13 +324,37 @@ impl Transport for SocketTransport {
         let programs = eval.programs().ok_or(TransportError::NotWireExpressible)?;
         let nodes = spec.plan.nodes();
         let e = spec.points.len();
+
+        // Persistent mode: lazily start (or resize) the shared pool and
+        // run the round over its long-lived workers.
+        if let Some(mut guard) = self.pool_state() {
+            let stale = match guard.as_ref() {
+                Some(pool) => pool.nodes() != nodes,
+                None => false,
+            };
+            if stale {
+                if let Some(mut old) = guard.take() {
+                    old.shutdown()?;
+                }
+            }
+            let pool = match guard.as_mut() {
+                Some(pool) => pool,
+                None => guard.insert(WorkerPool::start(self.mode.clone(), nodes)?),
+            };
+            let frames = pool.run_round(spec, &programs)?;
+            return Ok(assemble_round(spec, programs.len(), frames));
+        }
+
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding listener", &e))?;
         let addr = listener.local_addr().map_err(|e| io_err("local addr", &e))?;
 
-        // Start the workers; each connects back to the coordinator.
+        // Start the workers; each connects back to the coordinator. A
+        // spawn failure is recorded (not returned early) so the graceful
+        // teardown below still runs for the workers already started.
         let mut worker_threads = Vec::new();
         let mut worker_processes: Vec<Child> = Vec::new();
+        let mut startup_err: Option<TransportError> = None;
         match &self.mode {
             WorkerMode::Threads => {
                 for _ in 0..nodes {
@@ -151,19 +379,23 @@ impl Transport for SocketTransport {
                     match child {
                         Ok(child) => worker_processes.push(child),
                         Err(err) => {
-                            for mut child in worker_processes {
-                                let _ = child.kill();
-                                let _ = child.wait();
-                            }
-                            return Err(err);
+                            startup_err = Some(err);
+                            break;
                         }
                     }
                 }
             }
         }
 
-        let result = self.drive_round(spec, &programs, nodes, e, &listener, &mut worker_processes);
+        let result = match startup_err {
+            Some(err) => Err(err),
+            None => self.drive_round(spec, &programs, nodes, e, &listener, &mut worker_processes),
+        };
 
+        // Graceful teardown — no kill: close the listener first so any
+        // worker still blocked on an unserved or queued connection sees
+        // a reset and exits on its own, then join/reap everything.
+        drop(listener);
         for handle in worker_threads {
             let worker = handle.join().map_err(|_| TransportError::Protocol {
                 reason: "worker thread panicked".to_string(),
@@ -176,9 +408,8 @@ impl Transport for SocketTransport {
             }
         }
         for (node, mut child) in worker_processes.into_iter().enumerate() {
-            if result.is_err() {
-                let _ = child.kill();
-            }
+            // One-shot workers exit on their own once their connection
+            // (or the listener) is gone; wait() reaps without killing.
             let status = child.wait().map_err(|e| io_err("waiting for worker", &e))?;
             if result.is_ok() && !status.success() {
                 return Err(TransportError::WorkerFailed {
@@ -198,7 +429,7 @@ impl Transport for SocketTransport {
 /// exits at startup, a thread whose connect failed). Polls in
 /// non-blocking mode and fails fast when a worker process has already
 /// exited with a failure status.
-fn accept_with_deadline(
+pub(crate) fn accept_with_deadline(
     listener: &TcpListener,
     children: &mut [Child],
 ) -> Result<TcpStream, TransportError> {
@@ -255,16 +486,7 @@ impl SocketTransport {
         for node in 0..nodes {
             let mut stream = accept_with_deadline(listener, children)?;
             stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
-            let (lo, hi) = node_slice(e, nodes, node);
-            let task = Task {
-                modulus: spec.field.modulus(),
-                nodes,
-                node,
-                fault: spec.plan.kind(node),
-                programs: programs.to_vec(),
-                lo,
-                points: spec.points[lo..hi].to_vec(),
-            };
+            let task = task_for_node(spec, programs, nodes, node);
             stream
                 .write_all(task.to_wire().as_bytes())
                 .and_then(|()| stream.flush())
@@ -275,26 +497,7 @@ impl SocketTransport {
         for (node, stream) in streams.into_iter().enumerate() {
             let mut reader = BufReader::new(stream);
             let reply = parse_reply(&read_message(&mut reader)?)?;
-            // Validate the (untrusted) reply before it reaches the
-            // shared assembly, which treats frames as well-formed.
-            let (lo, hi) = node_slice(e, nodes, node);
-            let expected = (hi - lo) * programs.len();
-            let (body_len, receivers) = match &reply.body {
-                crate::round::FrameBody::Uniform(symbols) => (symbols.len(), nodes),
-                crate::round::FrameBody::PerReceiver { base, per_receiver } => {
-                    (base.len(), per_receiver.len())
-                }
-            };
-            if reply.node != node || reply.evaluations != expected || body_len != expected {
-                return Err(TransportError::Protocol {
-                    reason: format!("reply from worker {node} does not match its task"),
-                });
-            }
-            if receivers != nodes {
-                return Err(TransportError::Protocol {
-                    reason: format!("reply from worker {node} does not cover the cluster"),
-                });
-            }
+            validate_reply(&reply, node, nodes, e, programs.len())?;
             frames.push(reply);
         }
         Ok(frames)
@@ -364,6 +567,60 @@ mod tests {
         let transport =
             SocketTransport::with_worker_binary(PathBuf::from("/nonexistent/camelot-node"));
         assert!(matches!(transport.run(&spec, &eval), Err(TransportError::WorkerFailed { .. })));
+    }
+
+    /// A persistent transport starts its worker pool once, reuses it
+    /// across rounds bit-identically, and shuts it down gracefully.
+    #[test]
+    fn persistent_pool_reuses_workers_across_rounds() {
+        let field = PrimeField::new(1_000_003).unwrap();
+        let points: Vec<u64> = (0..31).collect();
+        let plan = FaultPlan::with_faults(
+            5,
+            &[(1, FaultKind::Crash), (3, FaultKind::Corrupt { seed: 7 })],
+        );
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let eval = ProgramEval::new(&field, vec![EvalProgram::Poly(vec![3, 1, 4])]);
+        let reference = ClusterConfig::sequential(5).transport().run(&spec, &eval).unwrap();
+        let transport = SocketTransport::persistent(WorkerMode::Threads);
+        assert_eq!(transport.name(), "socket-pool");
+        assert_eq!(transport.pool_live_workers(), 0, "pool starts lazily");
+        for _ in 0..3 {
+            let outcome = transport.run(&spec, &eval).unwrap();
+            assert!(outcome.broadcasts[0].same_word(&reference.broadcasts[0]));
+            assert_eq!(outcome.traffic, reference.traffic);
+        }
+        assert_eq!(transport.pool_live_workers(), 5, "workers outlive rounds");
+        assert_eq!(transport.pool_respawns(), 0);
+        transport.shutdown_pool().unwrap();
+        assert_eq!(transport.pool_live_workers(), 0);
+        // Idempotent: a second shutdown is a no-op.
+        transport.shutdown_pool().unwrap();
+    }
+
+    /// Killing a pool worker surfaces as `WorkerFailed` on the next
+    /// round; `repair_pool` respawns it and rounds succeed again.
+    #[test]
+    fn killed_pool_worker_fails_then_respawns() {
+        let field = PrimeField::new(1_000_003).unwrap();
+        let points: Vec<u64> = (0..16).collect();
+        let plan = FaultPlan::all_honest(3);
+        let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+        let eval = ProgramEval::new(&field, vec![EvalProgram::Poly(vec![1, 2])]);
+        let transport = SocketTransport::persistent(WorkerMode::Threads);
+        let first = transport.run(&spec, &eval).unwrap();
+        transport.kill_pool_worker(1).unwrap();
+        let err = transport.run(&spec, &eval).unwrap_err();
+        assert!(
+            matches!(err, TransportError::WorkerFailed { node: 1, .. }),
+            "expected WorkerFailed for node 1, got {err}"
+        );
+        let respawned = transport.repair_pool().unwrap();
+        assert!(respawned >= 1, "repair must respawn the killed lane");
+        assert_eq!(transport.pool_respawns(), respawned);
+        let again = transport.run(&spec, &eval).unwrap();
+        assert!(again.broadcasts[0].same_word(&first.broadcasts[0]));
+        transport.shutdown_pool().unwrap();
     }
 
     /// A worker that spawns but exits (nonzero) without ever connecting

@@ -16,11 +16,12 @@
 use crate::error::CamelotError;
 use crate::problem::{CamelotProblem, Evaluate, PrimeProof, ProofSpec};
 use camelot_cluster::{
-    Backend, Broadcast, ClusterConfig, EvalProgram, FaultPlan, RoundEval, RoundSpec,
+    Backend, Broadcast, ClusterConfig, EvalProgram, FaultPlan, RoundEval, RoundSpec, Transport,
 };
 use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the engine derives its deterministic prime moduli from a proof
@@ -212,6 +213,39 @@ pub struct RunReport {
     /// Portion of `decode_time` spent in the partial-xgcd phase of the
     /// Gao decoder (the half-GCD-accelerated step).
     pub xgcd_time: Duration,
+    /// Runs served from a prepared certificate instead of fresh rounds:
+    /// 1 for an [`Engine::redeem`] outcome (a `camelot-store` cache
+    /// hit — `rounds == 0`), 0 for a freshly prepared one.
+    pub cache_hits: usize,
+    /// How many requests shared this run's broadcast rounds: the batch
+    /// size for [`Engine::run_batch`] (every member records the same
+    /// count), 1 for a solo [`Engine::run`], 0 when no round ran at all
+    /// (a cache hit).
+    pub coalesced_requests: usize,
+}
+
+impl RunReport {
+    /// Column headers matching [`RunReport::traffic_cells`] — the shared
+    /// rounds/coalescing/traffic reporting path used by every experiment
+    /// table.
+    #[must_use]
+    pub fn traffic_headers() -> [&'static str; 5] {
+        ["rounds", "coalesced", "cache hits", "symbols", "bytes on wire"]
+    }
+
+    /// The round/coalescing/cache/traffic counters of this report,
+    /// formatted for one table row (same order as
+    /// [`RunReport::traffic_headers`]).
+    #[must_use]
+    pub fn traffic_cells(&self) -> [String; 5] {
+        [
+            self.rounds.to_string(),
+            self.coalesced_requests.to_string(),
+            self.cache_hits.to_string(),
+            self.symbols_broadcast.to_string(),
+            self.bytes_on_wire.to_string(),
+        ]
+    }
 }
 
 /// Result of a successful run.
@@ -280,16 +314,42 @@ pub fn choose_primes_ntt(spec: &ProofSpec, code_len: usize) -> Vec<u64> {
 }
 
 /// The Camelot engine.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Engine {
     config: EngineConfig,
+    /// A shared transport overriding `config.cluster.transport()` —
+    /// how a long-lived service reuses one persistent worker pool
+    /// across runs. `None` builds a fresh backend per run (the
+    /// historical behaviour).
+    transport: Option<Arc<dyn Transport + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("transport", &self.transport.as_ref().map(|t| t.name()))
+            .finish()
+    }
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
-        Engine { config }
+        Engine { config, transport: None }
+    }
+
+    /// Creates an engine whose rounds run on `transport` instead of a
+    /// backend built fresh from the cluster config — the hook that lets
+    /// `camelot-serve` share one persistent worker pool across all
+    /// requests (and clones of this engine).
+    #[must_use]
+    pub fn with_transport(
+        config: EngineConfig,
+        transport: Arc<dyn Transport + Send + Sync>,
+    ) -> Self {
+        Engine { config, transport: Some(transport) }
     }
 
     /// Convenience: sequential engine with `nodes` nodes and fault budget
@@ -374,6 +434,83 @@ impl Engine {
         self.run_rounds(&refs, &specs, &primes, e)
     }
 
+    /// Redeems a previously prepared certificate for `problem` without
+    /// running any broadcast round — the cache-hit path of
+    /// `camelot-store`. The certificate is *not* trusted: every prime
+    /// proof is structurally validated and spot-checked against fresh
+    /// evaluations of `P` (the configured `verification_trials` per
+    /// prime, exactly as after a live decode), and only then is the
+    /// answer recovered by CRT. The outcome's report records
+    /// `rounds == 0` and `cache_hits == 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CamelotError::MalformedProof`] when the certificate does not
+    ///   structurally fit the problem's spec (wrong degree bound, no or
+    ///   duplicate moduli, insufficient CRT coverage);
+    /// * [`CamelotError::VerificationFailed`] if a spot check rejects;
+    /// * recovery errors from the problem itself.
+    pub fn redeem<P: CamelotProblem>(
+        &self,
+        problem: &P,
+        certificate: &Certificate,
+    ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
+        let spec = problem.spec();
+        if certificate.degree_bound != spec.degree_bound {
+            return Err(CamelotError::MalformedProof {
+                reason: format!(
+                    "certificate decoded against degree bound {}, problem requires {}",
+                    certificate.degree_bound, spec.degree_bound
+                ),
+            });
+        }
+        if certificate.proofs.is_empty() {
+            return Err(CamelotError::MalformedProof {
+                reason: "certificate carries no prime proofs".into(),
+            });
+        }
+        let mut moduli: Vec<u64> = certificate.proofs.iter().map(|p| p.modulus).collect();
+        moduli.sort_unstable();
+        moduli.dedup();
+        if moduli.len() != certificate.proofs.len() {
+            return Err(CamelotError::MalformedProof {
+                reason: "certificate repeats a prime modulus".into(),
+            });
+        }
+        let bits: u64 =
+            certificate.proofs.iter().map(|p| 63 - u64::from(p.modulus.leading_zeros())).sum();
+        if bits <= spec.value_bits + 1 {
+            return Err(CamelotError::MalformedProof {
+                reason: format!(
+                    "certificate moduli cover {bits} bits, spec needs more than {}",
+                    spec.value_bits + 1
+                ),
+            });
+        }
+
+        let mut report = RunReport {
+            nodes: self.config.cluster.nodes,
+            primes: certificate.proofs.iter().map(|p| p.modulus).collect(),
+            code_length: certificate.code_length,
+            cache_hits: 1,
+            ..RunReport::default()
+        };
+        for proof in &certificate.proofs {
+            let verdict = crate::verify::spot_check(
+                problem,
+                proof,
+                self.config.verification_trials,
+                self.config.seed,
+            )?;
+            report.verification_evaluations += verdict.trials_run;
+            if !verdict.accepted {
+                return Err(CamelotError::VerificationFailed { modulus: proof.modulus });
+            }
+        }
+        let output = problem.recover(&certificate.proofs)?;
+        Ok(CamelotOutcome { output, certificate: certificate.clone(), report })
+    }
+
     /// The prepare → correct → check → recover pipeline, with the prime
     /// moduli and code length already derived: one broadcast round per
     /// prime carries all problems' evaluations through the configured
@@ -413,7 +550,16 @@ impl Engine {
             });
         }
 
-        let transport = self.config.cluster.transport();
+        // The engine-level shared transport (a service's persistent
+        // worker pool) wins over a backend built fresh for this run.
+        let fallback;
+        let transport: &dyn Transport = match &self.transport {
+            Some(shared) => &**shared,
+            None => {
+                fallback = self.config.cluster.transport();
+                &*fallback
+            }
+        };
         let mut accs: Vec<ProblemAcc> = specs
             .iter()
             .map(|_| ProblemAcc {
@@ -424,6 +570,7 @@ impl Engine {
                     nodes: self.config.cluster.nodes,
                     primes: primes.to_vec(),
                     code_length: e,
+                    coalesced_requests: specs.len(),
                     ..RunReport::default()
                 },
             })
@@ -684,6 +831,63 @@ mod tests {
         assert_eq!(outcome.report.total_evaluations, e * primes);
         assert_eq!(outcome.report.verification_evaluations, 2 * primes);
         assert!(outcome.report.max_node_evaluations >= e.div_ceil(5) * primes);
+    }
+
+    #[test]
+    fn redeem_serves_certificate_with_zero_rounds() {
+        let problem = Cube { c: 4321 };
+        let engine = Engine::sequential(4, 2);
+        let prepared = engine.run(&problem).unwrap();
+        assert_eq!(prepared.report.cache_hits, 0);
+        assert_eq!(prepared.report.coalesced_requests, 1);
+        assert!(prepared.report.rounds > 0);
+
+        let redeemed = engine.redeem(&problem, &prepared.certificate).unwrap();
+        assert_eq!(redeemed.output, prepared.output);
+        assert_eq!(redeemed.certificate, prepared.certificate);
+        assert_eq!(redeemed.report.rounds, 0);
+        assert_eq!(redeemed.report.cache_hits, 1);
+        assert_eq!(redeemed.report.coalesced_requests, 0);
+        assert_eq!(redeemed.report.verification_evaluations, 2 * prepared.certificate.proofs.len());
+    }
+
+    #[test]
+    fn redeem_rejects_tampered_and_misfit_certificates() {
+        let problem = Cube { c: 99 };
+        let engine = Engine::sequential(4, 2);
+        let prepared = engine.run(&problem).unwrap();
+
+        // A flipped coefficient must fail the spot check.
+        let mut tampered = prepared.certificate.clone();
+        tampered.proofs[0].coefficients[0] ^= 1;
+        assert!(matches!(
+            engine.redeem(&problem, &tampered),
+            Err(CamelotError::VerificationFailed { .. })
+        ));
+
+        // A certificate for a different degree bound is structurally
+        // rejected before any randomness is spent.
+        let mut misfit = prepared.certificate.clone();
+        misfit.degree_bound += 1;
+        assert!(matches!(
+            engine.redeem(&problem, &misfit),
+            Err(CamelotError::MalformedProof { .. })
+        ));
+
+        // Dropping proofs breaks CRT coverage.
+        let mut thin = prepared.certificate.clone();
+        thin.proofs.truncate(1);
+        assert!(matches!(engine.redeem(&problem, &thin), Err(CamelotError::MalformedProof { .. })));
+    }
+
+    #[test]
+    fn batch_reports_coalesced_requests() {
+        let problems = vec![Cube { c: 11 }, Cube { c: 22 }, Cube { c: 33 }];
+        let outcomes = Engine::sequential(4, 2).run_batch(&problems).unwrap();
+        for outcome in &outcomes {
+            assert_eq!(outcome.report.coalesced_requests, 3);
+            assert_eq!(outcome.report.cache_hits, 0);
+        }
     }
 
     #[test]

@@ -38,5 +38,6 @@ pub use verify::{soundness_error, spot_check, VerifyReport};
 
 // Transport-facing vocabulary, re-exported so problem implementers can
 // offer wire-expressible evaluators ([`Evaluate::program`]) and engine
-// users can pick a broadcast backend without naming `camelot-cluster`.
-pub use camelot_cluster::{Backend, EvalProgram, WorkerMode};
+// users can pick a broadcast backend — or hand [`Engine::with_transport`]
+// a shared persistent one — without naming `camelot-cluster`.
+pub use camelot_cluster::{Backend, EvalProgram, SocketTransport, Transport, WorkerMode};

@@ -44,8 +44,15 @@ impl Config {
                 "crates/core/src/wire.rs".to_string(),
                 "crates/cluster/src/transport/".to_string(),
                 "crates/cluster/src/bin/camelot_node.rs".to_string(),
+                "crates/server/src/".to_string(),
+                "crates/store/src/".to_string(),
             ],
-            dropped_result: vec!["crates/core/src/".to_string(), "crates/cluster/src/".to_string()],
+            dropped_result: vec![
+                "crates/core/src/".to_string(),
+                "crates/cluster/src/".to_string(),
+                "crates/server/src/".to_string(),
+                "crates/store/src/".to_string(),
+            ],
             hot_regions: vec!["crates/ff/src/".to_string(), "crates/poly/src/".to_string()],
             all_paths: false,
         };

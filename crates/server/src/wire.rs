@@ -1,0 +1,451 @@
+//! The daemon's request/response frames — the `camelot-task v1` frame
+//! family extended with service verbs.
+//!
+//! Same conventions as the task/reply/certificate formats: line
+//! oriented, space-separated records, a bare `end` terminator. One
+//! request frame travels client → daemon, one response frame travels
+//! back. A certificate rides inside a frame with every line prefixed
+//! `cert `, so the existing `camelot-certificate v1` format is embedded
+//! verbatim rather than re-encoded.
+//!
+//! ```text
+//! camelot-request v1          camelot-response v1
+//! kind prepare                status ok
+//! schedule smallest           output 1881365963509150208
+//! poly 3 1 4                  rounds 5
+//! sum-count 16                coalesced 2
+//! value-bits 60               cache-hit 0
+//! min-modulus 1048576         symbols 90
+//! end                         bytes 1234
+//!                             …
+//!                             cert camelot-certificate v1
+//!                             cert …
+//!                             end
+//! ```
+
+use camelot_core::PrimeSchedule;
+use std::io::BufRead;
+
+/// Header line opening every service request frame.
+pub const REQUEST_HEADER: &str = "camelot-request v1";
+/// Header line opening every service response frame.
+pub const RESPONSE_HEADER: &str = "camelot-response v1";
+
+/// The problem a client asks the daemon to prepare a proof for: an
+/// explicit proof polynomial `P(x)` (little-endian coefficients) whose
+/// answer is `Σ_{x=0}^{sum_count-1} P(x)` over the integers — the
+/// paper's "sum the evaluations" recovery map, with the polynomial
+/// itself as the canonical input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolyRequest {
+    /// Little-endian coefficients of `P(x)`.
+    pub coefficients: Vec<u64>,
+    /// The answer sums `P(0), …, P(sum_count - 1)`.
+    pub sum_count: u64,
+    /// Magnitude bound: the answer fits in `2^value_bits`.
+    pub value_bits: u64,
+    /// Lower bound on usable prime moduli.
+    pub min_modulus: u64,
+    /// Prime schedule the certificate must be prepared under.
+    pub schedule: PrimeSchedule,
+}
+
+/// One client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Prepare (or serve from cache) a certificate and the answer.
+    Prepare(PolyRequest),
+    /// Verify a client-supplied certificate against the problem by
+    /// spot checks — no rounds, the Arthur side of the protocol.
+    Verify {
+        /// The problem the certificate claims to prove.
+        poly: PolyRequest,
+        /// The certificate in `camelot-certificate v1` wire text.
+        certificate: String,
+    },
+    /// Report service counters.
+    Status,
+    /// Chaos hook: forcibly take down pool worker `node`.
+    CrashWorker {
+        /// The worker to take down.
+        node: usize,
+    },
+    /// Stop accepting requests and shut the worker pool down.
+    Shutdown,
+}
+
+/// One daemon response. Counter fields default to zero for verbs they
+/// do not apply to.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Failure description when `ok` is false.
+    pub error: Option<String>,
+    /// The recovered answer (prepare/verify).
+    pub output: Option<u128>,
+    /// Broadcast rounds this request ran (0 on a cache hit).
+    pub rounds: usize,
+    /// Requests that shared this request's broadcast rounds.
+    pub coalesced: usize,
+    /// Whether the certificate came from `camelot-store`.
+    pub cache_hit: bool,
+    /// Symbols broadcast on this request's rounds.
+    pub symbols: usize,
+    /// Payload bytes on the wire for this request's rounds.
+    pub bytes: u64,
+    /// Live pool workers (status).
+    pub workers: usize,
+    /// Lifetime worker respawns (status).
+    pub respawns: usize,
+    /// Rounds that failed with a worker failure (status).
+    pub worker_failures: usize,
+    /// Requests handled so far (status).
+    pub requests: usize,
+    /// Certificate-store hits so far (status).
+    pub store_hits: usize,
+    /// Certificate-store misses so far (status).
+    pub store_misses: usize,
+    /// The prepared certificate in `camelot-certificate v1` wire text.
+    pub certificate: Option<String>,
+}
+
+/// Pushes a certificate into a frame, one `cert `-prefixed line per
+/// original line.
+fn push_certificate(out: &mut String, certificate: &str) {
+    for line in certificate.lines() {
+        out.push_str("cert ");
+        out.push_str(line);
+        out.push('\n');
+    }
+}
+
+pub(crate) fn schedule_token(schedule: PrimeSchedule) -> &'static str {
+    match schedule {
+        PrimeSchedule::Smallest => "smallest",
+        PrimeSchedule::NttFriendly => "ntt",
+    }
+}
+
+fn parse_schedule(token: &str) -> Result<PrimeSchedule, String> {
+    match token {
+        "smallest" => Ok(PrimeSchedule::Smallest),
+        "ntt" => Ok(PrimeSchedule::NttFriendly),
+        other => Err(format!("unknown prime schedule {other:?}")),
+    }
+}
+
+fn parse_u64(token: Option<&str>, what: &str) -> Result<u64, String> {
+    token.ok_or_else(|| format!("missing {what}"))?.parse().map_err(|_| format!("bad {what}"))
+}
+
+impl PolyRequest {
+    fn push_wire(&self, out: &mut String) {
+        out.push_str(&format!("schedule {}\n", schedule_token(self.schedule)));
+        out.push_str("poly");
+        for &c in &self.coefficients {
+            out.push_str(&format!(" {c}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("sum-count {}\n", self.sum_count));
+        out.push_str(&format!("value-bits {}\n", self.value_bits));
+        out.push_str(&format!("min-modulus {}\n", self.min_modulus));
+    }
+}
+
+impl Request {
+    /// Serializes to the v1 text wire format.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str(REQUEST_HEADER);
+        out.push('\n');
+        match self {
+            Request::Prepare(poly) => {
+                out.push_str("kind prepare\n");
+                poly.push_wire(&mut out);
+            }
+            Request::Verify { poly, certificate } => {
+                out.push_str("kind verify\n");
+                poly.push_wire(&mut out);
+                push_certificate(&mut out, certificate);
+            }
+            Request::Status => out.push_str("kind status\n"),
+            Request::CrashWorker { node } => {
+                out.push_str(&format!("kind crash-worker\nworker {node}\n"));
+            }
+            Request::Shutdown => out.push_str("kind shutdown\n"),
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the structural violation.
+    pub fn from_wire(text: &str) -> Result<Request, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(REQUEST_HEADER) {
+            return Err("missing request header".to_string());
+        }
+        let mut kind = None;
+        let mut coefficients = Vec::new();
+        let mut saw_poly = false;
+        let mut sum_count = 1u64;
+        let mut value_bits = None;
+        let mut min_modulus = 1u64 << 20;
+        let mut schedule = PrimeSchedule::Smallest;
+        let mut worker = None;
+        let mut certificate = String::new();
+        for line in lines {
+            if line == "end" {
+                break;
+            }
+            if let Some(cert_line) = line.strip_prefix("cert ") {
+                certificate.push_str(cert_line);
+                certificate.push('\n');
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("kind") => kind = tokens.next().map(str::to_string),
+                Some("schedule") => {
+                    schedule = parse_schedule(tokens.next().unwrap_or_default())?;
+                }
+                Some("poly") => {
+                    saw_poly = true;
+                    coefficients = tokens
+                        .map(|t| t.parse::<u64>().map_err(|_| "bad poly coefficient".to_string()))
+                        .collect::<Result<Vec<u64>, String>>()?;
+                }
+                Some("sum-count") => sum_count = parse_u64(tokens.next(), "sum-count")?,
+                Some("value-bits") => value_bits = Some(parse_u64(tokens.next(), "value-bits")?),
+                Some("min-modulus") => min_modulus = parse_u64(tokens.next(), "min-modulus")?,
+                Some("worker") => {
+                    let raw = parse_u64(tokens.next(), "worker index")?;
+                    worker = Some(usize::try_from(raw).map_err(|_| "bad worker index")?);
+                }
+                Some(other) => return Err(format!("unknown request record {other:?}")),
+                None => {}
+            }
+        }
+        let poly = |certificate_needed: bool| -> Result<PolyRequest, String> {
+            if !saw_poly {
+                return Err("missing poly record".to_string());
+            }
+            if certificate_needed && certificate.is_empty() {
+                return Err("missing embedded certificate".to_string());
+            }
+            Ok(PolyRequest {
+                coefficients: coefficients.clone(),
+                sum_count,
+                value_bits: value_bits.ok_or("missing value-bits")?,
+                min_modulus,
+                schedule,
+            })
+        };
+        match kind.as_deref() {
+            Some("prepare") => Ok(Request::Prepare(poly(false)?)),
+            Some("verify") => Ok(Request::Verify { poly: poly(true)?, certificate }),
+            Some("status") => Ok(Request::Status),
+            Some("crash-worker") => {
+                Ok(Request::CrashWorker { node: worker.ok_or("missing worker index")? })
+            }
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown request kind {other:?}")),
+            None => Err("missing request kind".to_string()),
+        }
+    }
+}
+
+impl Response {
+    /// A failure response carrying `error` (newlines flattened so the
+    /// message stays one record).
+    #[must_use]
+    pub fn failure(error: &str) -> Response {
+        Response { ok: false, error: Some(error.replace('\n', "; ")), ..Response::default() }
+    }
+
+    /// Serializes to the v1 text wire format.
+    #[must_use]
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str(RESPONSE_HEADER);
+        out.push('\n');
+        out.push_str(if self.ok { "status ok\n" } else { "status error\n" });
+        if let Some(error) = &self.error {
+            out.push_str(&format!("error {}\n", error.replace('\n', "; ")));
+        }
+        if let Some(output) = self.output {
+            out.push_str(&format!("output {output}\n"));
+        }
+        out.push_str(&format!("rounds {}\n", self.rounds));
+        out.push_str(&format!("coalesced {}\n", self.coalesced));
+        out.push_str(&format!("cache-hit {}\n", usize::from(self.cache_hit)));
+        out.push_str(&format!("symbols {}\n", self.symbols));
+        out.push_str(&format!("bytes {}\n", self.bytes));
+        out.push_str(&format!("workers {}\n", self.workers));
+        out.push_str(&format!("respawns {}\n", self.respawns));
+        out.push_str(&format!("worker-failures {}\n", self.worker_failures));
+        out.push_str(&format!("requests {}\n", self.requests));
+        out.push_str(&format!("store-hits {}\n", self.store_hits));
+        out.push_str(&format!("store-misses {}\n", self.store_misses));
+        if let Some(certificate) = &self.certificate {
+            push_certificate(&mut out, certificate);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the structural violation.
+    pub fn from_wire(text: &str) -> Result<Response, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(RESPONSE_HEADER) {
+            return Err("missing response header".to_string());
+        }
+        let mut response = Response::default();
+        let mut certificate = String::new();
+        for line in lines {
+            if line == "end" {
+                break;
+            }
+            if let Some(cert_line) = line.strip_prefix("cert ") {
+                certificate.push_str(cert_line);
+                certificate.push('\n');
+                continue;
+            }
+            if let Some(error) = line.strip_prefix("error ") {
+                response.error = Some(error.to_string());
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let (record, value) = (tokens.next(), tokens.next());
+            match record {
+                Some("status") => response.ok = value == Some("ok"),
+                Some("output") => {
+                    response.output = Some(
+                        value
+                            .ok_or("missing output value")?
+                            .parse::<u128>()
+                            .map_err(|_| "bad output value")?,
+                    );
+                }
+                Some("rounds") => response.rounds = parse_count(value, "rounds")?,
+                Some("coalesced") => response.coalesced = parse_count(value, "coalesced")?,
+                Some("cache-hit") => response.cache_hit = parse_count(value, "cache-hit")? != 0,
+                Some("symbols") => response.symbols = parse_count(value, "symbols")?,
+                Some("bytes") => response.bytes = parse_u64(value, "bytes")?,
+                Some("workers") => response.workers = parse_count(value, "workers")?,
+                Some("respawns") => response.respawns = parse_count(value, "respawns")?,
+                Some("worker-failures") => {
+                    response.worker_failures = parse_count(value, "worker-failures")?;
+                }
+                Some("requests") => response.requests = parse_count(value, "requests")?,
+                Some("store-hits") => response.store_hits = parse_count(value, "store-hits")?,
+                Some("store-misses") => response.store_misses = parse_count(value, "store-misses")?,
+                Some(other) => return Err(format!("unknown response record {other:?}")),
+                None => {}
+            }
+        }
+        if !certificate.is_empty() {
+            response.certificate = Some(certificate);
+        }
+        Ok(response)
+    }
+}
+
+fn parse_count(token: Option<&str>, what: &str) -> Result<usize, String> {
+    usize::try_from(parse_u64(token, what)?).map_err(|_| format!("{what} out of range"))
+}
+
+/// Reads one frame (through its `end` line) from a buffered stream;
+/// `Ok(None)` on a clean EOF before any bytes.
+///
+/// # Errors
+///
+/// I/O failures and mid-frame disconnects.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> Result<Option<String>, String> {
+    let mut text = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("reading frame: {e}"))?;
+        if n == 0 {
+            if text.is_empty() {
+                return Ok(None);
+            }
+            return Err("connection closed mid-frame".to_string());
+        }
+        text.push_str(&line);
+        if line.trim_end() == "end" {
+            return Ok(Some(text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly() -> PolyRequest {
+        PolyRequest {
+            coefficients: vec![3, 1, 4],
+            sum_count: 16,
+            value_bits: 60,
+            min_modulus: 1 << 20,
+            schedule: PrimeSchedule::Smallest,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = [
+            Request::Prepare(poly()),
+            Request::Verify {
+                poly: PolyRequest { schedule: PrimeSchedule::NttFriendly, ..poly() },
+                certificate: "camelot-certificate v1\ncode-length 10\n".to_string(),
+            },
+            Request::Status,
+            Request::CrashWorker { node: 3 },
+            Request::Shutdown,
+        ];
+        for request in cases {
+            assert_eq!(Request::from_wire(&request.to_wire()).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = Response {
+            ok: true,
+            output: Some(1u128 << 100),
+            rounds: 5,
+            coalesced: 2,
+            cache_hit: true,
+            symbols: 90,
+            bytes: 1234,
+            certificate: Some("camelot-certificate v1\ncode-length 10\n".to_string()),
+            ..Response::default()
+        };
+        assert_eq!(Response::from_wire(&ok.to_wire()).unwrap(), ok);
+        let err = Response::failure("worker 2 exploded\nbadly");
+        let parsed = Response::from_wire(&err.to_wire()).unwrap();
+        assert!(!parsed.ok);
+        assert_eq!(parsed.error.as_deref(), Some("worker 2 exploded; badly"));
+    }
+
+    #[test]
+    fn malformed_frames_error_out() {
+        assert!(Request::from_wire("nope\nend\n").is_err());
+        assert!(Request::from_wire("camelot-request v1\nkind prepare\nend\n").is_err());
+        assert!(Request::from_wire("camelot-request v1\nkind verify\npoly 1\nvalue-bits 8\nend\n")
+            .is_err());
+        assert!(Request::from_wire("camelot-request v1\nkind warp\nend\n").is_err());
+        assert!(Response::from_wire("camelot-response v1\nrounds x\nend\n").is_err());
+    }
+}

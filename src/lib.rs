@@ -42,4 +42,6 @@ pub use camelot_linalg as linalg;
 pub use camelot_partition as partition;
 pub use camelot_poly as poly;
 pub use camelot_rscode as rscode;
+pub use camelot_server as server;
+pub use camelot_store as store;
 pub use camelot_triangles as triangles;

@@ -1,0 +1,182 @@
+//! The service layer end to end: coalescing of concurrent requests onto
+//! shared broadcast rounds, zero-round cache hits with bit-identical
+//! certificates, worker-failure recovery, and the TCP daemon loop.
+
+use camelot::core::WorkerMode;
+use camelot::server::{request, run_daemon, PolyRequest, Request, Service, ServiceConfig};
+use std::net::TcpListener;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+fn poly(coefficients: Vec<u64>) -> PolyRequest {
+    PolyRequest {
+        coefficients,
+        sum_count: 16,
+        value_bits: 60,
+        min_modulus: 1 << 20,
+        schedule: camelot::core::PrimeSchedule::Smallest,
+    }
+}
+
+/// `Σ_{x=0}^{n-1} P(x)` computed directly, the reference answer.
+fn poly_sum(coefficients: &[u64], n: u64) -> u128 {
+    (0..n)
+        .map(|x| {
+            coefficients.iter().rev().fold(0u128, |acc, &c| acc * u128::from(x) + u128::from(c))
+        })
+        .sum()
+}
+
+fn service(batch_window_ms: u64) -> Arc<Service> {
+    let config = ServiceConfig {
+        workers: WorkerMode::Threads,
+        batch_window: Duration::from_millis(batch_window_ms),
+        ..ServiceConfig::default()
+    };
+    Arc::new(Service::new(config).unwrap())
+}
+
+#[test]
+fn concurrent_requests_share_one_batch_of_rounds() {
+    let service = service(400);
+    let barrier = Arc::new(Barrier::new(2));
+    let polys = [poly(vec![3, 1, 4]), poly(vec![1, 5, 9, 2])];
+    let handles: Vec<_> = polys
+        .iter()
+        .map(|p| {
+            let (service, barrier, p) = (Arc::clone(&service), Arc::clone(&barrier), p.clone());
+            thread::spawn(move || {
+                barrier.wait();
+                service.prepare(&p).unwrap()
+            })
+        })
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (p, outcome) in polys.iter().zip(&outcomes) {
+        assert_eq!(outcome.output, poly_sum(&p.coefficients, p.sum_count));
+        assert_eq!(
+            outcome.report.coalesced_requests, 2,
+            "both requests must land in one admission batch"
+        );
+        assert_eq!(outcome.report.cache_hits, 0);
+    }
+    // The batch shares its per-prime rounds: both requests report the
+    // same round count R, and the two solo runs below each pay at least
+    // R on their own — so the coalesced total R is strictly less than
+    // the sum of solo runs.
+    let shared_rounds = outcomes[0].report.rounds;
+    assert_eq!(outcomes[1].report.rounds, shared_rounds);
+    assert!(shared_rounds > 0);
+    let solo: usize = [poly(vec![2, 7, 1]), poly(vec![8, 2, 8, 1])]
+        .iter()
+        .map(|p| {
+            let outcome = service.prepare(p).unwrap();
+            assert_eq!(outcome.report.coalesced_requests, 1);
+            outcome.report.rounds
+        })
+        .sum();
+    assert!(
+        shared_rounds < solo,
+        "coalesced rounds ({shared_rounds}) must undercut solo total ({solo})"
+    );
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn repeat_query_is_served_from_the_store_with_zero_rounds() {
+    let service = service(5);
+    let p = poly(vec![2, 0, 0, 0, 3]);
+    let first = service.prepare(&p).unwrap();
+    assert!(first.report.rounds > 0);
+    assert_eq!(first.report.cache_hits, 0);
+    let second = service.prepare(&p).unwrap();
+    assert_eq!(second.report.rounds, 0, "cache hit must run no rounds");
+    assert_eq!(second.report.cache_hits, 1);
+    assert!(second.report.verification_evaluations > 0, "redeem still spot-checks");
+    assert_eq!(second.output, first.output);
+    assert_eq!(
+        second.certificate.to_wire(),
+        first.certificate.to_wire(),
+        "the served certificate is bit-identical to the prepared one"
+    );
+    // A different polynomial is a different content address: miss.
+    let other = service.prepare(&poly(vec![2, 0, 0, 0, 4])).unwrap();
+    assert!(other.report.rounds > 0);
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn killed_worker_is_respawned_and_service_recovers() {
+    let service = service(5);
+    let first = service.prepare(&poly(vec![6, 6, 6])).unwrap();
+    assert!(first.report.rounds > 0);
+    service.crash_worker(1).unwrap();
+    // The next batch hits the dead worker, records the failure, repairs
+    // the pool, and retries — the caller just sees a success.
+    let second = service.prepare(&poly(vec![7, 7, 7])).unwrap();
+    assert_eq!(second.output, poly_sum(&[7, 7, 7], 16));
+    let status = service.status();
+    assert!(status.worker_failures >= 1, "the kill must be recorded");
+    assert!(status.respawns >= 1, "the pool must have respawned the worker");
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn daemon_serves_prepare_verify_status_and_shuts_down() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = service(5);
+    let daemon = thread::spawn(move || run_daemon(&listener, &service));
+    let p = poly(vec![1, 2, 3]);
+
+    let prepared = request(&addr, &Request::Prepare(p.clone())).unwrap();
+    assert!(prepared.ok, "{:?}", prepared.error);
+    assert_eq!(prepared.output, Some(poly_sum(&p.coefficients, p.sum_count)));
+    assert!(prepared.rounds > 0);
+    let certificate = prepared.certificate.clone().unwrap();
+
+    // Round-trip the certificate through the verify verb: no rounds.
+    let verified =
+        request(&addr, &Request::Verify { poly: p.clone(), certificate: certificate.clone() })
+            .unwrap();
+    assert!(verified.ok, "{:?}", verified.error);
+    assert_eq!(verified.output, prepared.output);
+    assert_eq!(verified.rounds, 0);
+
+    // A tampered certificate must be rejected, not crash the daemon.
+    // Bump the top coefficient of the first prime proof.
+    let tampered: String = certificate
+        .lines()
+        .map(|line| {
+            if line.starts_with("proof ") {
+                let mut tokens: Vec<String> = line.split(' ').map(str::to_string).collect();
+                if let Some(last) = tokens.last_mut() {
+                    *last = (last.parse::<u64>().unwrap() + 1).to_string();
+                }
+                format!("{}\n", tokens.join(" "))
+            } else {
+                format!("{line}\n")
+            }
+        })
+        .collect();
+    let rejected = request(&addr, &Request::Verify { poly: p.clone(), certificate: tampered });
+    assert!(rejected.is_err() || !rejected.unwrap().ok);
+
+    // Repeat prepare: served from the store.
+    let repeat = request(&addr, &Request::Prepare(p.clone())).unwrap();
+    assert!(repeat.ok);
+    assert_eq!(repeat.rounds, 0);
+    assert!(repeat.cache_hit);
+    assert_eq!(repeat.certificate, Some(certificate));
+
+    let status = request(&addr, &Request::Status).unwrap();
+    assert!(status.ok);
+    assert!(status.requests >= 3);
+    assert!(status.store_hits >= 1);
+    assert!(status.workers > 0);
+
+    let bye = request(&addr, &Request::Shutdown).unwrap();
+    assert!(bye.ok);
+    daemon.join().unwrap().unwrap();
+}
