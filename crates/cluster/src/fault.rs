@@ -77,12 +77,28 @@ impl FaultPlan {
     /// Panics if a node index is out of range.
     #[must_use]
     pub fn with_faults(nodes: usize, faults: &[(usize, FaultKind)]) -> Self {
+        match Self::try_with_faults(nodes, faults) {
+            Ok(plan) => plan,
+            Err(reason) => panic!("{reason}"),
+        }
+    }
+
+    /// Marks specific nodes faulty, rejecting out-of-range node indices
+    /// instead of panicking (the library-caller counterpart of
+    /// [`FaultPlan::with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range node index.
+    pub fn try_with_faults(nodes: usize, faults: &[(usize, FaultKind)]) -> Result<Self, String> {
         let mut plan = Self::all_honest(nodes);
         for &(node, kind) in faults {
-            assert!(node < nodes, "fault assigned to nonexistent node {node}");
-            plan.kinds[node] = kind;
+            match plan.kinds.get_mut(node) {
+                Some(slot) => *slot = kind,
+                None => return Err(format!("fault assigned to nonexistent node {node}")),
+            }
         }
-        plan
+        Ok(plan)
     }
 
     /// Seeds `count` pseudo-randomly chosen distinct nodes with
@@ -120,7 +136,17 @@ impl FaultPlan {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn kind(&self, node: usize) -> FaultKind {
-        self.kinds[node]
+        match self.try_kind(node) {
+            Some(kind) => kind,
+            None => panic!("fault kind requested for nonexistent node {node}"),
+        }
+    }
+
+    /// Behaviour of a node, or `None` when `node` is out of range (the
+    /// library-caller counterpart of [`FaultPlan::kind`]).
+    #[must_use]
+    pub fn try_kind(&self, node: usize) -> Option<FaultKind> {
+        self.kinds.get(node).copied()
     }
 
     /// Indices of all non-honest nodes.
@@ -188,6 +214,16 @@ mod tests {
         assert_eq!(p1, p2);
         assert_ne!(p1, p3);
         assert_eq!(p1.faulty_nodes().len(), 4);
+    }
+
+    #[test]
+    fn try_variants_reject_out_of_range_nodes_without_panicking() {
+        let err = FaultPlan::try_with_faults(3, &[(3, FaultKind::Crash)]);
+        assert!(err.is_err());
+        let plan = FaultPlan::try_with_faults(3, &[(1, FaultKind::Crash)]).unwrap();
+        assert_eq!(plan, FaultPlan::with_faults(3, &[(1, FaultKind::Crash)]));
+        assert_eq!(plan.try_kind(1), Some(FaultKind::Crash));
+        assert_eq!(plan.try_kind(3), None);
     }
 
     #[test]

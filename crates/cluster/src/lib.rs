@@ -28,13 +28,20 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod chaos;
 mod fault;
+mod retry;
 mod round;
 mod transport;
 
+pub use chaos::{
+    garble_reply, simulated_failure, truncate_reply, worker_action, ChaosEffect, ChaosPlan,
+    Demotion, FailureCause, WorkerAction,
+};
 pub use fault::{
     adversarial_symbol, corrupt_symbol, equivocated_symbol, fault_lane, FaultKind, FaultPlan,
 };
+pub use retry::{env_io_deadline, Deadline, RetryPolicy, TransportTuning, SOCKET_TIMEOUT_ENV};
 pub use round::{
     assemble_round, assign_points, compute_node_frames, node_slice, Broadcast, FrameBody,
     NodeFrames, NodeStats, ProgramEval, RoundEval, RoundOutcome, RoundSpec, RoundTraffic,

@@ -10,6 +10,7 @@
 //! here, shared by every backend — including the out-of-process
 //! `camelot-node` worker.
 
+use crate::chaos::Demotion;
 use crate::fault::{
     adversarial_symbol, corrupt_symbol, equivocated_symbol, fault_lane, FaultKind, FaultPlan,
 };
@@ -219,6 +220,29 @@ pub fn compute_node_frames(
     NodeFrames { node, evaluations, elapsed, body }
 }
 
+/// The frames the round assembly books for a node that was *demoted*
+/// to crash (transport failure or injected chaos): indistinguishable
+/// from an algebraic [`FaultKind::Crash`] — full erasure over the
+/// node's slice, with the evaluation count the slice would have had
+/// (the shared work accounting stays identical across backends) and
+/// zero wall clock (nothing arrived to measure).
+#[must_use]
+pub(crate) fn crash_frames(
+    num_points: usize,
+    nodes: usize,
+    node: usize,
+    width: usize,
+) -> NodeFrames {
+    let (lo, hi) = node_slice(num_points, nodes, node);
+    let evaluations = (hi - lo) * width;
+    NodeFrames {
+        node,
+        evaluations,
+        elapsed: Duration::ZERO,
+        body: FrameBody::Uniform(vec![None; evaluations]),
+    }
+}
+
 /// Communication accounting for one round, identical across backends:
 /// computed from the frames' content in the v1 frame encoding (the
 /// socket backend literally ships that encoding).
@@ -318,17 +342,31 @@ pub struct RoundOutcome {
     pub broadcasts: Vec<Broadcast>,
     /// Communication accounting for the whole round.
     pub traffic: RoundTraffic,
+    /// Nodes demoted to crash by the transport this round (dead or
+    /// chaos-afflicted remotes), with their structured causes — sorted
+    /// by node, at most one entry per node, identical across backends.
+    pub demotions: Vec<Demotion>,
 }
 
 /// Reassembles the per-node frames of one round into per-polynomial
 /// broadcasts — the receiver side every backend shares. `frames` may
-/// arrive in any order; there must be exactly one per node.
+/// arrive in any order; there must be exactly one per node. `demotions`
+/// lists nodes the transport demoted to crash: their (synthesized)
+/// frames are booked at a crashed sender's wire cost — nothing usable
+/// reached the medium.
 ///
 /// # Panics
 ///
 /// Panics if a node's frames are missing, duplicated, or mis-sized.
 #[must_use]
-pub fn assemble_round(spec: &RoundSpec<'_>, width: usize, frames: Vec<NodeFrames>) -> RoundOutcome {
+pub fn assemble_round(
+    spec: &RoundSpec<'_>,
+    width: usize,
+    frames: Vec<NodeFrames>,
+    mut demotions: Vec<Demotion>,
+) -> RoundOutcome {
+    demotions.sort();
+    demotions.dedup_by_key(|d| d.node);
     let nodes = spec.plan.nodes();
     let e = spec.points.len();
     let mut by_node: Vec<Option<NodeFrames>> = (0..nodes).map(|_| None).collect();
@@ -356,7 +394,12 @@ pub fn assemble_round(spec: &RoundSpec<'_>, width: usize, frames: Vec<NodeFrames
         let (lo, hi) = node_slice(e, nodes, node);
         let slice_len = hi - lo;
         assert_eq!(frame.evaluations, slice_len * width, "mis-sized frames from node {node}");
-        let (symbols, bytes) = frame_wire_cost(spec.plan.kind(node), &frame.body);
+        let kind = if demotions.iter().any(|d| d.node == node) {
+            FaultKind::Crash
+        } else {
+            spec.plan.kind(node)
+        };
+        let (symbols, bytes) = frame_wire_cost(kind, &frame.body);
         traffic.symbols_broadcast += symbols;
         traffic.bytes_on_wire += bytes;
 
@@ -382,7 +425,7 @@ pub fn assemble_round(spec: &RoundSpec<'_>, width: usize, frames: Vec<NodeFrames
             }
         }
     }
-    RoundOutcome { broadcasts, traffic }
+    RoundOutcome { broadcasts, traffic, demotions }
 }
 
 #[cfg(test)]

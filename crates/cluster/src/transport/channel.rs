@@ -7,10 +7,12 @@
 //! reassembles the broadcast exclusively from the frames, exactly as a
 //! distributed deployment would.
 
+use crate::chaos::ChaosPlan;
+use crate::retry::TransportTuning;
 use crate::round::{
     assemble_round, compute_node_frames, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
 };
-use crate::transport::{Transport, TransportError};
+use crate::transport::{apply_simulated_chaos, check_chaos, Transport, TransportError};
 use camelot_ff::PrimeField;
 use std::sync::mpsc;
 
@@ -26,14 +28,32 @@ struct ChannelTask {
 }
 
 /// The mpsc-channel backend.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ChannelTransport;
+#[derive(Clone, Debug, Default)]
+pub struct ChannelTransport {
+    tuning: TransportTuning,
+    chaos: Option<ChaosPlan>,
+}
 
 impl ChannelTransport {
     /// A channel transport (one thread per node per round).
     #[must_use]
     pub fn new() -> Self {
-        ChannelTransport
+        ChannelTransport::default()
+    }
+
+    /// Overrides the transport tuning (the simulation consults the I/O
+    /// deadline for chaos delay-versus-demotion decisions).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TransportTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a chaos plan to simulate.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<ChaosPlan>) -> Self {
+        self.chaos = chaos;
+        self
     }
 }
 
@@ -49,6 +69,7 @@ impl Transport for ChannelTransport {
     ) -> Result<RoundOutcome, TransportError> {
         let nodes = spec.plan.nodes();
         let e = spec.points.len();
+        check_chaos(self.chaos.as_ref(), nodes)?;
         let (reply_tx, reply_rx) = mpsc::channel::<NodeFrames>();
 
         let frames: Vec<NodeFrames> = std::thread::scope(|scope| {
@@ -109,6 +130,12 @@ impl Transport for ChannelTransport {
                 reason: "node thread exited without replying".to_string(),
             });
         }
-        Ok(assemble_round(spec, eval.width(), frames))
+        let (frames, demotions) = match &self.chaos {
+            Some(chaos) => {
+                apply_simulated_chaos(spec, eval.width(), self.tuning.deadline_ms(), chaos, frames)
+            }
+            None => (frames, Vec::new()),
+        };
+        Ok(assemble_round(spec, eval.width(), frames, demotions))
     }
 }

@@ -4,23 +4,47 @@
 //! threads; frames are plain in-memory values, so the backend adds zero
 //! serialization overhead and is bit-identical to the seed simulation
 //! (deterministic either way — threading only changes wall-clock).
+//! Configured chaos is *simulated*: the truthful frames are pushed
+//! through the same sender-side [`worker_action`](crate::worker_action)
+//! resolution the socket workers perform, so outcomes (delivery,
+//! garbled symbols, demotions) are bit-identical to the real-TCP
+//! backends without sleeping on real clocks.
 
+use crate::chaos::ChaosPlan;
+use crate::retry::TransportTuning;
 use crate::round::{
     assemble_round, compute_node_frames, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
 };
-use crate::transport::{Transport, TransportError};
+use crate::transport::{apply_simulated_chaos, check_chaos, Transport, TransportError};
 
 /// The in-process backend.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct InProcess {
     parallel: bool,
+    tuning: TransportTuning,
+    chaos: Option<ChaosPlan>,
 }
 
 impl InProcess {
     /// An in-process bus; `parallel` runs node slices on scoped threads.
     #[must_use]
     pub fn new(parallel: bool) -> Self {
-        InProcess { parallel }
+        InProcess { parallel, tuning: TransportTuning::default(), chaos: None }
+    }
+
+    /// Overrides the transport tuning (the simulation consults the I/O
+    /// deadline for chaos delay-versus-demotion decisions).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TransportTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a chaos plan to simulate.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<ChaosPlan>) -> Self {
+        self.chaos = chaos;
+        self
     }
 }
 
@@ -40,6 +64,7 @@ impl Transport for InProcess {
     ) -> Result<RoundOutcome, TransportError> {
         let nodes = spec.plan.nodes();
         let e = spec.points.len();
+        check_chaos(self.chaos.as_ref(), nodes)?;
         let frames: Vec<NodeFrames> = if self.parallel {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..nodes)
@@ -87,6 +112,12 @@ impl Transport for InProcess {
                 })
                 .collect()
         };
-        Ok(assemble_round(spec, eval.width(), frames))
+        let (frames, demotions) = match &self.chaos {
+            Some(chaos) => {
+                apply_simulated_chaos(spec, eval.width(), self.tuning.deadline_ms(), chaos, frames)
+            }
+            None => (frames, Vec::new()),
+        };
+        Ok(assemble_round(spec, eval.width(), frames, demotions))
     }
 }

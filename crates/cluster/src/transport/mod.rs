@@ -47,8 +47,12 @@ pub use inproc::InProcess;
 pub use pool::WorkerPool;
 pub use socket::{serve_worker, serve_worker_loop, SocketTransport, WorkerMode};
 
+use crate::chaos::{
+    simulated_failure, worker_action, ChaosEffect, ChaosPlan, Demotion, WorkerAction,
+};
 use crate::fault::FaultKind;
-use crate::round::{FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
+use crate::retry::TransportTuning;
+use crate::round::{crash_frames, FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec};
 use camelot_ff::PrimeField;
 use std::fmt;
 use std::path::PathBuf;
@@ -98,6 +102,11 @@ pub enum TransportError {
         /// Human-readable description.
         reason: String,
     },
+    /// An operation exceeded its configured I/O deadline.
+    TimedOut {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -110,6 +119,9 @@ impl fmt::Display for TransportError {
             TransportError::Protocol { reason } => write!(f, "malformed frame: {reason}"),
             TransportError::WorkerFailed { node, reason } => {
                 write!(f, "worker for node {node} failed: {reason}")
+            }
+            TransportError::TimedOut { reason } => {
+                write!(f, "transport deadline exceeded: {reason}")
             }
         }
     }
@@ -169,6 +181,13 @@ pub struct ClusterConfig {
     pub parallel: bool,
     /// Which broadcast backend rounds run on.
     pub backend: Backend,
+    /// Timeout/retry/demotion knobs for the socket-flavoured backends
+    /// (the in-process chaos simulation consults `io_deadline` for its
+    /// delay-versus-deadline decisions).
+    pub tuning: TransportTuning,
+    /// Optional transport-level fault injection, applied identically by
+    /// every backend.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl ClusterConfig {
@@ -180,7 +199,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn sequential(nodes: usize) -> Self {
         assert!(nodes > 0, "a cluster needs at least one node");
-        ClusterConfig { nodes, parallel: false, backend: Backend::InProcess }
+        ClusterConfig {
+            nodes,
+            parallel: false,
+            backend: Backend::InProcess,
+            tuning: TransportTuning::default(),
+            chaos: None,
+        }
     }
 
     /// Threaded in-process simulation with `K` nodes.
@@ -190,8 +215,7 @@ impl ClusterConfig {
     /// Panics if `nodes == 0`.
     #[must_use]
     pub fn parallel(nodes: usize) -> Self {
-        assert!(nodes > 0, "a cluster needs at least one node");
-        ClusterConfig { nodes, parallel: true, backend: Backend::InProcess }
+        ClusterConfig { parallel: true, ..ClusterConfig::sequential(nodes) }
     }
 
     /// Switches the broadcast backend.
@@ -201,13 +225,35 @@ impl ClusterConfig {
         self
     }
 
+    /// Overrides the transport tuning (deadlines, retries, demotion).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TransportTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a chaos plan, injected identically by every backend.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<ChaosPlan>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
     /// Builds the configured transport.
     #[must_use]
     pub fn transport(&self) -> Box<dyn Transport> {
+        let tuning = self.tuning.clone();
+        let chaos = self.chaos.clone();
         match &self.backend {
-            Backend::InProcess => Box::new(InProcess::new(self.parallel)),
-            Backend::Channel => Box::new(ChannelTransport::new()),
-            Backend::Socket(mode) => Box::new(SocketTransport::new(mode.clone())),
+            Backend::InProcess => {
+                Box::new(InProcess::new(self.parallel).with_tuning(tuning).with_chaos(chaos))
+            }
+            Backend::Channel => {
+                Box::new(ChannelTransport::new().with_tuning(tuning).with_chaos(chaos))
+            }
+            Backend::Socket(mode) => {
+                Box::new(SocketTransport::new(mode.clone()).with_tuning(tuning).with_chaos(chaos))
+            }
         }
     }
 }
@@ -276,7 +322,21 @@ pub struct Task {
     pub lo: usize,
     /// The node's assigned evaluation points.
     pub points: Vec<u64>,
+    /// Transport-level chaos the worker must inflict on its own reply
+    /// (sender-side injection, like the algebraic faults). Absent from
+    /// the wire when `None`, so chaos-free tasks are byte-identical to
+    /// the historical format.
+    pub chaos: Option<ChaosEffect>,
+    /// The coordinator's I/O deadline in milliseconds, shipped with the
+    /// task so the worker resolves delay-versus-demotion by comparing
+    /// configured numbers (never wall clock). On the wire only when it
+    /// differs from the 60 s default.
+    pub deadline_ms: u64,
 }
+
+/// Deadline shipped in tasks when none is configured (the historical
+/// 60 s socket timeout).
+pub(crate) const DEFAULT_TASK_DEADLINE_MS: u64 = 60_000;
 
 fn push_fault(out: &mut String, kind: FaultKind) {
     match kind {
@@ -315,6 +375,37 @@ fn protocol(reason: &str) -> TransportError {
     TransportError::Protocol { reason: reason.to_string() }
 }
 
+fn push_chaos(out: &mut String, effect: ChaosEffect) {
+    match effect {
+        ChaosEffect::Delay { millis } => out.push_str(&format!("chaos delay {millis}\n")),
+        ChaosEffect::DropFrame => out.push_str("chaos drop\n"),
+        ChaosEffect::Truncate { seed } => out.push_str(&format!("chaos truncate {seed}\n")),
+        ChaosEffect::Garble { seed } => out.push_str(&format!("chaos garble {seed}\n")),
+        ChaosEffect::Duplicate => out.push_str("chaos duplicate\n"),
+        ChaosEffect::Reset => out.push_str("chaos reset\n"),
+        ChaosEffect::Hang => out.push_str("chaos hang\n"),
+    }
+}
+
+fn parse_chaos(tokens: &[&str]) -> Result<ChaosEffect, TransportError> {
+    let arg = |what: &str| -> Result<u64, TransportError> {
+        tokens
+            .get(1)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| protocol(&format!("chaos {what} needs a numeric argument")))
+    };
+    match tokens.first() {
+        Some(&"delay") => Ok(ChaosEffect::Delay { millis: arg("delay")? }),
+        Some(&"drop") => Ok(ChaosEffect::DropFrame),
+        Some(&"truncate") => Ok(ChaosEffect::Truncate { seed: arg("truncate")? }),
+        Some(&"garble") => Ok(ChaosEffect::Garble { seed: arg("garble")? }),
+        Some(&"duplicate") => Ok(ChaosEffect::Duplicate),
+        Some(&"reset") => Ok(ChaosEffect::Reset),
+        Some(&"hang") => Ok(ChaosEffect::Hang),
+        _ => Err(protocol("unknown chaos effect")),
+    }
+}
+
 impl Task {
     /// Serializes to the v1 task format.
     #[must_use]
@@ -327,6 +418,15 @@ impl Task {
         out.push_str(&format!("node {}\n", self.node));
         out.push_str(&format!("width {}\n", self.programs.len()));
         push_fault(&mut out, self.fault);
+        // Neither line appears on a default quiet task, keeping the
+        // historical wire byte-identical; each is emitted independently
+        // so every Task value round-trips exactly.
+        if self.deadline_ms != DEFAULT_TASK_DEADLINE_MS {
+            out.push_str(&format!("deadline {}\n", self.deadline_ms));
+        }
+        if let Some(effect) = self.chaos {
+            push_chaos(&mut out, effect);
+        }
         for (p, program) in self.programs.iter().enumerate() {
             match program {
                 EvalProgram::Poly(coeffs) => {
@@ -362,6 +462,8 @@ impl Task {
         let mut node = None;
         let mut width = None;
         let mut fault = None;
+        let mut chaos = None;
+        let mut deadline_ms = DEFAULT_TASK_DEADLINE_MS;
         let mut programs: Vec<(usize, EvalProgram)> = Vec::new();
         let mut assigned: Option<(usize, Vec<u64>)> = None;
         let mut ended = false;
@@ -373,6 +475,8 @@ impl Task {
                 Some(&"node") => node = Some(parse_usize(tokens.get(1), "node")?),
                 Some(&"width") => width = Some(parse_usize(tokens.get(1), "width")?),
                 Some(&"fault") => fault = Some(parse_fault(tokens.get(1..).unwrap_or(&[]))?),
+                Some(&"chaos") => chaos = Some(parse_chaos(tokens.get(1..).unwrap_or(&[]))?),
+                Some(&"deadline") => deadline_ms = parse_u64(tokens.get(1), "deadline")?,
                 Some(&"program") => {
                     let p = parse_usize(tokens.get(1), "program index")?;
                     match tokens.get(2) {
@@ -438,6 +542,8 @@ impl Task {
             programs: programs.into_iter().map(|(_, prog)| prog).collect(),
             lo,
             points,
+            chaos,
+            deadline_ms,
         })
     }
 }
@@ -587,6 +693,86 @@ pub fn execute_task(task: &Task) -> NodeFrames {
     )
 }
 
+/// Rejects a chaos plan sized for a different cluster.
+pub(crate) fn check_chaos(chaos: Option<&ChaosPlan>, nodes: usize) -> Result<(), TransportError> {
+    match chaos {
+        Some(plan) if plan.nodes() != nodes => Err(TransportError::Protocol {
+            reason: format!("chaos plan covers {} nodes but the cluster has {nodes}", plan.nodes()),
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// The in-process simulation of sender-side chaos, shared by the
+/// [`InProcess`] and [`ChannelTransport`] backends: each afflicted
+/// node's truthful frames are pushed through the same
+/// [`worker_action`] resolution the socket workers perform over real
+/// TCP, and the observable outcome is reproduced — delivery (via the
+/// real encode/parse/validate path when bytes were touched), or
+/// demotion to a synthesized crash frame with the same
+/// [`FailureCause`](crate::FailureCause) the socket coordinator's
+/// timeout/EOF/parse machinery reports. Within-deadline delays deliver
+/// without sleeping (the delay is real wall time only on sockets;
+/// round *outcomes* are bit-identical either way).
+pub(crate) fn apply_simulated_chaos(
+    spec: &RoundSpec<'_>,
+    width: usize,
+    deadline_ms: u64,
+    chaos: &ChaosPlan,
+    frames: Vec<NodeFrames>,
+) -> (Vec<NodeFrames>, Vec<Demotion>) {
+    let nodes = spec.plan.nodes();
+    let num_points = spec.points.len();
+    let mut out = Vec::with_capacity(frames.len());
+    let mut demotions = Vec::new();
+    let mut demote = |node: usize, cause, out: &mut Vec<NodeFrames>| {
+        demotions.push(Demotion { node, cause });
+        out.push(crash_frames(num_points, nodes, node, width));
+    };
+    for frame in frames {
+        let node = frame.node;
+        let Some(effect) = chaos.effect(node) else {
+            out.push(frame);
+            continue;
+        };
+        match effect {
+            // Effects that deliver the truthful bytes unchanged skip
+            // the encode/parse round-trip (lossless per the round-trip
+            // tests): a within-deadline delay, and a duplicate whose
+            // first copy wins.
+            ChaosEffect::Delay { millis } if millis <= deadline_ms => out.push(frame),
+            ChaosEffect::Duplicate => out.push(frame),
+            _ => {
+                let action = worker_action(
+                    Some(effect),
+                    deadline_ms,
+                    spec.field.modulus(),
+                    encode_reply(&frame),
+                );
+                match simulated_failure(&action) {
+                    Some(cause) => demote(node, cause, &mut out),
+                    None => {
+                        let delivered = match &action {
+                            WorkerAction::Deliver { text, .. } => {
+                                parse_reply(text).and_then(|reply| {
+                                    socket::validate_reply(&reply, node, nodes, num_points, width)
+                                        .map(|()| reply)
+                                })
+                            }
+                            _ => Err(protocol("delivering action expected")),
+                        };
+                        match delivered {
+                            Ok(reply) => out.push(reply),
+                            Err(_) => demote(node, crate::chaos::FailureCause::Protocol, &mut out),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, demotions)
+}
+
 /// The (symbols broadcast, frame bytes) cost of one node's frames in
 /// the v1 encoding — the shared traffic model: uniform senders
 /// broadcast their `frame all` line once, equivocators pay one
@@ -644,8 +830,46 @@ mod tests {
             programs: vec![EvalProgram::Poly(vec![1, 2, 3]), EvalProgram::Poly(vec![0])],
             lo: 8,
             points: vec![8, 9, 10, 11],
+            chaos: None,
+            deadline_ms: DEFAULT_TASK_DEADLINE_MS,
         };
         assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task);
+    }
+
+    #[test]
+    fn chaos_lines_roundtrip_and_stay_off_the_quiet_wire() {
+        let quiet = Task {
+            modulus: 97,
+            nodes: 2,
+            node: 0,
+            fault: FaultKind::Honest,
+            programs: vec![EvalProgram::Poly(vec![1])],
+            lo: 0,
+            points: vec![0, 1],
+            chaos: None,
+            deadline_ms: DEFAULT_TASK_DEADLINE_MS,
+        };
+        assert!(
+            !quiet.to_wire().contains("chaos") && !quiet.to_wire().contains("deadline"),
+            "chaos-free tasks must stay byte-identical to the historical format"
+        );
+        for effect in [
+            ChaosEffect::Delay { millis: 7 },
+            ChaosEffect::DropFrame,
+            ChaosEffect::Truncate { seed: 99 },
+            ChaosEffect::Garble { seed: 123 },
+            ChaosEffect::Duplicate,
+            ChaosEffect::Reset,
+            ChaosEffect::Hang,
+        ] {
+            let task = Task { chaos: Some(effect), deadline_ms: 250, ..quiet.clone() };
+            assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task, "{effect:?}");
+        }
+        assert!(Task::from_wire(
+            "camelot-task v1\nfield 97\ncluster 2\nnode 0\nwidth 1\nfault honest\n\
+             chaos nonsense\nprogram 0 poly 1\npoints 0 1\nend\n"
+        )
+        .is_err());
     }
 
     #[test]
@@ -698,6 +922,8 @@ mod tests {
             programs: vec![EvalProgram::Poly(vec![7, 1])], // 7 + x
             lo: 4,
             points: vec![4, 5, 6, 7],
+            chaos: None,
+            deadline_ms: DEFAULT_TASK_DEADLINE_MS,
         };
         let frames = execute_task(&task);
         assert_eq!(frames.evaluations, 4);

@@ -13,10 +13,12 @@
 //! [`SocketTransport::persistent`]: crate::transport::SocketTransport::persistent
 //! [`Task`]: crate::transport::Task
 
-use crate::round::{NodeFrames, RoundSpec};
+use crate::chaos::{ChaosEffect, ChaosPlan, Demotion, FailureCause};
+use crate::retry::TransportTuning;
+use crate::round::{crash_frames, NodeFrames, RoundSpec};
 use crate::transport::socket::{
-    accept_with_deadline, io_err, read_message, serve_worker_loop, task_for_node, validate_reply,
-    WorkerMode, SOCKET_TIMEOUT,
+    accept_with_deadline, io_err, read_message, read_message_or_eof, serve_worker_loop,
+    task_for_node, validate_reply, WorkerMode,
 };
 use crate::transport::{
     control_frame, parse_reply, EvalProgram, TransportError, PING_HEADER, PONG_HEADER,
@@ -89,20 +91,26 @@ pub struct WorkerPool {
     /// scrapped) and awaiting [`WorkerPool::ensure_ready`].
     lanes: Vec<Option<PoolLane>>,
     respawns: usize,
+    tuning: TransportTuning,
 }
 
 impl WorkerPool {
-    /// Starts a pool of `nodes` persistent workers in the given mode.
+    /// Starts a pool of `nodes` persistent workers in the given mode,
+    /// with `tuning` governing handshake and per-round I/O deadlines.
     ///
     /// # Errors
     ///
     /// Worker spawn/handshake failures; workers already started are
     /// shut down gracefully before the error returns.
-    pub fn start(mode: WorkerMode, nodes: usize) -> Result<WorkerPool, TransportError> {
+    pub fn start(
+        mode: WorkerMode,
+        nodes: usize,
+        tuning: TransportTuning,
+    ) -> Result<WorkerPool, TransportError> {
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding listener", &e))?;
         let addr = listener.local_addr().map_err(|e| io_err("local addr", &e))?;
-        let mut pool = WorkerPool { listener, addr, mode, lanes: Vec::new(), respawns: 0 };
+        let mut pool = WorkerPool { listener, addr, mode, lanes: Vec::new(), respawns: 0, tuning };
         for node in 0..nodes {
             // On failure the partial pool is dropped, and Drop shuts
             // the already-started lanes down gracefully.
@@ -162,13 +170,14 @@ impl WorkerPool {
             Some(child) => std::slice::from_mut(child),
             None => &mut [],
         };
-        let accepted = accept_with_deadline(&self.listener, children).map_err(|err| match err {
-            // accept_with_deadline indexes into its slice of one.
-            TransportError::WorkerFailed { reason, .. } => {
-                TransportError::WorkerFailed { node, reason }
-            }
-            other => other,
-        });
+        let accepted = accept_with_deadline(&self.listener, children, self.tuning.io_deadline)
+            .map_err(|err| match err {
+                // accept_with_deadline indexes into its slice of one.
+                TransportError::WorkerFailed { reason, .. } => {
+                    TransportError::WorkerFailed { node, reason }
+                }
+                other => other,
+            });
         let stream = match accepted {
             Ok(stream) => stream,
             Err(err) => {
@@ -183,7 +192,9 @@ impl WorkerPool {
                 return Err(err);
             }
         };
-        stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
+        stream
+            .set_read_timeout(Some(self.tuning.io_deadline))
+            .map_err(|e| io_err("set timeout", &e))?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", &e))?);
         Ok(PoolLane { stream, reader, child, thread })
     }
@@ -221,25 +232,69 @@ impl WorkerPool {
 
     /// Runs one broadcast round over the persistent lanes: writes every
     /// node's task first (workers compute concurrently), then drains
-    /// and validates the replies in lane order.
+    /// and validates the replies in lane order. Chaos effects ride in
+    /// the tasks; the afflicted workers sabotage their own replies.
     ///
     /// # Errors
     ///
-    /// A down lane or a worker I/O/protocol failure surfaces as
-    /// [`TransportError::WorkerFailed`] naming the node. Any failure
-    /// scraps *all* lanes — survivors may hold undelivered tasks or
-    /// unread replies, so their streams are no longer at a frame
-    /// boundary — and the next [`WorkerPool::ensure_ready`] brings the
-    /// pool back byte-aligned.
+    /// Without demotion (`demote == false`, the legacy fail-fast mode),
+    /// a down lane or a worker I/O/protocol failure surfaces as
+    /// [`TransportError::WorkerFailed`] naming the node, and any
+    /// failure scraps *all* lanes — survivors may hold undelivered
+    /// tasks or unread replies, so their streams are no longer at a
+    /// frame boundary — until the next [`WorkerPool::ensure_ready`]
+    /// brings the pool back byte-aligned.
+    ///
+    /// With demotion enabled, per-node failures retire *only* the
+    /// failed lane (every survivor is still at a frame boundary) and
+    /// book a [`Demotion`] with the structured cause; down lanes get
+    /// one respawn attempt at round start, and a lane that cannot come
+    /// back is demoted with [`FailureCause::RespawnExhausted`]. The
+    /// round then completes via erasure decoding.
     pub fn run_round(
         &mut self,
         spec: &RoundSpec<'_>,
         programs: &[EvalProgram],
-    ) -> Result<Vec<NodeFrames>, TransportError> {
+        chaos: Option<&ChaosPlan>,
+        demote: bool,
+    ) -> Result<(Vec<NodeFrames>, Vec<Demotion>), TransportError> {
         let nodes = self.lanes.len();
         let e = spec.points.len();
+        let width = programs.len();
+        let deadline_ms = self.tuning.deadline_ms();
+        let mut demotions: Vec<Demotion> = Vec::new();
+        let mut demoted = vec![false; nodes];
+
+        // With demotion enabled, give every down lane one respawn
+        // attempt before the round starts.
+        if demote {
+            for node in 0..nodes {
+                if self.lanes.get(node).is_some_and(Option::is_none) {
+                    match self.spawn_lane(node) {
+                        Ok(lane) => {
+                            if let Some(slot) = self.lanes.get_mut(node) {
+                                *slot = Some(lane);
+                                self.respawns += 1;
+                            }
+                        }
+                        Err(_) => {
+                            if let Some(slot) = demoted.get_mut(node) {
+                                *slot = true;
+                            }
+                            demotions
+                                .push(Demotion { node, cause: FailureCause::RespawnExhausted });
+                        }
+                    }
+                }
+            }
+        }
+
         for node in 0..nodes {
-            let wire = task_for_node(spec, programs, nodes, node).to_wire();
+            if demoted.get(node).copied().unwrap_or(false) {
+                continue;
+            }
+            let effect = chaos.and_then(|plan| plan.effect(node));
+            let wire = task_for_node(spec, programs, nodes, node, effect, deadline_ms).to_wire();
             let delivered = match self.lanes.get_mut(node).and_then(Option::as_mut) {
                 None => Err(TransportError::WorkerFailed {
                     node,
@@ -255,32 +310,86 @@ impl WorkerPool {
                     }),
             };
             if let Err(err) = delivered {
-                return Err(self.fail_round(err));
+                if demote {
+                    self.retire_lane(node);
+                    if let Some(flag) = demoted.get_mut(node) {
+                        *flag = true;
+                    }
+                    demotions.push(Demotion { node, cause: FailureCause::from_transport(&err) });
+                } else {
+                    return Err(self.fail_round(err));
+                }
             }
         }
+
         let mut frames = Vec::with_capacity(nodes);
         for node in 0..nodes {
-            let reply = match self.lanes.get_mut(node).and_then(Option::as_mut) {
+            if demoted.get(node).copied().unwrap_or(false) {
+                frames.push(crash_frames(e, nodes, node, width));
+                continue;
+            }
+            let effect = chaos.and_then(|plan| plan.effect(node));
+            let outcome = match self.lanes.get_mut(node).and_then(Option::as_mut) {
                 None => Err(TransportError::WorkerFailed {
                     node,
                     reason: "lane is down (awaiting respawn)".to_string(),
                 }),
-                Some(lane) => read_message(&mut lane.reader)
-                    .and_then(|text| parse_reply(&text))
-                    .map_err(|err| TransportError::WorkerFailed {
-                        node,
-                        reason: format!("reading reply: {err}"),
-                    })
-                    .and_then(|reply| {
-                        validate_reply(&reply, node, nodes, e, programs.len()).map(|()| reply)
-                    }),
+                Some(lane) => {
+                    let read = match read_message_or_eof(&mut lane.reader) {
+                        Ok(Some(text)) => parse_reply(&text).and_then(|reply| {
+                            validate_reply(&reply, node, nodes, e, width).map(|()| reply)
+                        }),
+                        // Clean close before any reply: the worker
+                        // dropped its frame or reset the connection.
+                        Ok(None) => Err(TransportError::Io {
+                            reason: format!("worker {node} closed before replying"),
+                        }),
+                        Err(err) => Err(err),
+                    };
+                    // A Duplicate-chaos worker sent its reply twice;
+                    // drain the copy so the lane stays at a frame
+                    // boundary for the next round. (The copy was
+                    // written back-to-back with the original, so a
+                    // failed drain means the lane is broken anyway and
+                    // the retire below handles it.)
+                    if read.is_ok()
+                        && effect == Some(ChaosEffect::Duplicate)
+                        && read_message_or_eof(&mut lane.reader).is_err()
+                    {
+                        self.retire_lane(node);
+                    }
+                    read
+                }
             };
-            match reply {
+            match outcome {
                 Ok(reply) => frames.push(reply),
-                Err(err) => return Err(self.fail_round(err)),
+                Err(err) if demote => {
+                    self.retire_lane(node);
+                    demotions.push(Demotion { node, cause: FailureCause::from_transport(&err) });
+                    frames.push(crash_frames(e, nodes, node, width));
+                }
+                Err(err) => {
+                    let err = match err {
+                        TransportError::WorkerFailed { .. } => err,
+                        other => TransportError::WorkerFailed {
+                            node,
+                            reason: format!("reading reply: {other}"),
+                        },
+                    };
+                    return Err(self.fail_round(err));
+                }
             }
         }
-        Ok(frames)
+        Ok((frames, demotions))
+    }
+
+    /// Retires exactly one lane (best-effort graceful), leaving its
+    /// slot empty for a later respawn. Survivor lanes are untouched —
+    /// they are still at a frame boundary.
+    fn retire_lane(&mut self, node: usize) {
+        if let Some(lane) = self.lanes.get_mut(node).and_then(Option::take) {
+            lane.retire();
+        }
     }
 
     /// A round failed mid-flight: scrap every lane (graceful retire) so

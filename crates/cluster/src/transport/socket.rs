@@ -13,13 +13,16 @@
 //! Socket rounds require wire-expressible polynomials
 //! ([`RoundEval::programs`]); closures cannot cross a process boundary.
 
+use crate::chaos::{worker_action, ChaosEffect, ChaosPlan, Demotion, FailureCause, WorkerAction};
+use crate::retry::{env_io_deadline, TransportTuning};
 use crate::round::{
-    assemble_round, node_slice, FrameBody, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
+    assemble_round, crash_frames, node_slice, FrameBody, NodeFrames, RoundEval, RoundOutcome,
+    RoundSpec,
 };
 use crate::transport::pool::WorkerPool;
 use crate::transport::{
-    control_frame, encode_reply, execute_task, parse_reply, EvalProgram, Task, Transport,
-    TransportError, PING_HEADER, PONG_HEADER, SHUTDOWN_HEADER,
+    check_chaos, control_frame, encode_reply, execute_task, parse_reply, EvalProgram, Task,
+    Transport, TransportError, PING_HEADER, PONG_HEADER, SHUTDOWN_HEADER,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -28,9 +31,11 @@ use std::process::{Child, Command, Stdio};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-/// How long the coordinator waits on any single socket operation before
-/// declaring a worker dead (loopback rounds complete in milliseconds;
-/// this only bounds pathological hangs).
+/// The historical hardcoded coordinator timeout, kept as the reference
+/// point for fast-failure assertions. Runtime configuration goes
+/// through [`TransportTuning`] (or the `CAMELOT_SOCKET_TIMEOUT_MS`
+/// environment variable).
+#[cfg(test)]
 pub(crate) const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// How socket workers are started.
@@ -57,13 +62,38 @@ pub struct SocketTransport {
     /// Shared persistent pool state (`None` entries mean "not started
     /// yet"); absent entirely for the classic per-round transport.
     pool: Option<Arc<Mutex<Option<WorkerPool>>>>,
+    tuning: TransportTuning,
+    chaos: Option<ChaosPlan>,
 }
 
 impl SocketTransport {
     /// A per-round socket transport with the given worker mode.
     #[must_use]
     pub fn new(mode: WorkerMode) -> Self {
-        SocketTransport { mode, pool: None }
+        SocketTransport { mode, pool: None, tuning: TransportTuning::default(), chaos: None }
+    }
+
+    /// Overrides the transport tuning (I/O deadline, retries, demotion).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TransportTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a chaos plan: each afflicted worker sabotages its own
+    /// reply sender-side (over real TCP), and the coordinator demotes
+    /// senders whose sabotage makes them unreadable.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<ChaosPlan>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Whether dead/unreadable remotes are demoted to crash instead of
+    /// failing the round: explicit opt-in, or implied by a chaos plan
+    /// (injected faults are meant to be survived).
+    fn demote(&self) -> bool {
+        self.chaos.is_some() || self.tuning.demote_dead_nodes
     }
 
     /// A per-round socket transport backed by in-process worker threads.
@@ -84,7 +114,7 @@ impl SocketTransport {
     /// reuse its long-lived workers. Clones share the same pool.
     #[must_use]
     pub fn persistent(mode: WorkerMode) -> Self {
-        SocketTransport { mode, pool: Some(Arc::new(Mutex::new(None))) }
+        SocketTransport { pool: Some(Arc::new(Mutex::new(None))), ..SocketTransport::new(mode) }
     }
 
     /// Locks the persistent pool state (`None` for per-round transports).
@@ -169,7 +199,15 @@ pub(crate) fn read_message_or_eof<R: BufRead>(
     let mut text = String::new();
     loop {
         let mut line = String::new();
-        let n = reader.read_line(&mut line).map_err(|e| io_err("reading message", &e))?;
+        let n = reader.read_line(&mut line).map_err(|e| match e.kind() {
+            // A read timeout surfaces as WouldBlock (unix) or TimedOut
+            // (windows); classify it structurally so callers never have
+            // to sniff message strings.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::TimedOut { reason: format!("reading message: {e}") }
+            }
+            _ => io_err("reading message", &e),
+        })?;
         if n == 0 {
             if text.is_empty() {
                 return Ok(None);
@@ -196,23 +234,58 @@ pub(crate) fn read_message<R: BufRead>(reader: &mut R) -> Result<String, Transpo
     }
 }
 
+/// Performs a resolved [`WorkerAction`] on the worker's stream: the
+/// sender-side sabotage over real TCP, shared by the one-shot and
+/// persistent worker loops. Returns `false` when the action ends with
+/// the connection closed (mute, drop/reset, truncation).
+fn perform_action(stream: &mut TcpStream, action: WorkerAction) -> Result<bool, TransportError> {
+    match action {
+        WorkerAction::Deliver { text, copies, delay_ms } => {
+            if delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            for _ in 0..copies {
+                stream.write_all(text.as_bytes()).map_err(|e| io_err("writing reply", &e))?;
+            }
+            stream.flush().map_err(|e| io_err("writing reply", &e))?;
+            Ok(true)
+        }
+        WorkerAction::Mute { sleep_ms } => {
+            // Hold the connection open silently until the coordinator's
+            // deadline has certainly passed (bounded: deadline + grace),
+            // then exit cleanly — the hang, as the coordinator's real
+            // read timeout observes it.
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            Ok(false)
+        }
+        WorkerAction::Close => Ok(false),
+        WorkerAction::Partial { text } => {
+            stream
+                .write_all(text.as_bytes())
+                .and_then(|()| stream.flush())
+                .map_err(|e| io_err("writing partial reply", &e))?;
+            Ok(false)
+        }
+    }
+}
+
 /// Serves one task on an accepted connection: read the task, execute
-/// it, reply. The single-round worker side of the protocol — spawned
-/// per round by the per-round transport.
+/// it, reply — inflicting the task's chaos effect (if any) on the reply
+/// sender-side, exactly like the algebraic faults. The single-round
+/// worker side of the protocol — spawned per round by the per-round
+/// transport.
 ///
 /// # Errors
 ///
 /// I/O failures and malformed tasks.
 pub fn serve_worker(stream: TcpStream) -> Result<(), TransportError> {
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
+    stream.set_read_timeout(Some(env_io_deadline())).map_err(|e| io_err("set timeout", &e))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone stream", &e))?);
     let task = Task::from_wire(&read_message(&mut reader)?)?;
     let frames = execute_task(&task);
+    let action = worker_action(task.chaos, task.deadline_ms, task.modulus, encode_reply(&frames));
     let mut stream = stream;
-    stream
-        .write_all(encode_reply(&frames).as_bytes())
-        .and_then(|()| stream.flush())
-        .map_err(|e| io_err("writing reply", &e))
+    perform_action(&mut stream, action).map(|_| ())
 }
 
 /// Serves tasks on one connection until the coordinator sends an
@@ -246,10 +319,18 @@ pub fn serve_worker_loop(stream: TcpStream) -> Result<(), TransportError> {
             _ => {
                 let task = Task::from_wire(&text)?;
                 let frames = execute_task(&task);
-                stream
-                    .write_all(encode_reply(&frames).as_bytes())
-                    .and_then(|()| stream.flush())
-                    .map_err(|e| io_err("writing reply", &e))?;
+                let action = worker_action(
+                    task.chaos,
+                    task.deadline_ms,
+                    task.modulus,
+                    encode_reply(&frames),
+                );
+                if !perform_action(&mut stream, action)? {
+                    // Chaos ended with the connection closed; this lane
+                    // dies with it and the coordinator demotes the node.
+                    // A clean worker exit, by design.
+                    return Ok(());
+                }
             }
         }
     }
@@ -263,16 +344,20 @@ pub(crate) fn task_for_node(
     programs: &[EvalProgram],
     nodes: usize,
     node: usize,
+    chaos: Option<ChaosEffect>,
+    deadline_ms: u64,
 ) -> Task {
     let (lo, hi) = node_slice(spec.points.len(), nodes, node);
     Task {
         modulus: spec.field.modulus(),
         nodes,
         node,
-        fault: spec.plan.kind(node),
+        fault: spec.plan.try_kind(node).unwrap_or(crate::FaultKind::Honest),
         programs: programs.to_vec(),
         lo,
-        points: spec.points[lo..hi].to_vec(),
+        points: spec.points.get(lo..hi).unwrap_or(&[]).to_vec(),
+        chaos,
+        deadline_ms,
     }
 }
 
@@ -324,6 +409,7 @@ impl Transport for SocketTransport {
         let programs = eval.programs().ok_or(TransportError::NotWireExpressible)?;
         let nodes = spec.plan.nodes();
         let e = spec.points.len();
+        check_chaos(self.chaos.as_ref(), nodes)?;
 
         // Persistent mode: lazily start (or resize) the shared pool and
         // run the round over its long-lived workers.
@@ -339,10 +425,13 @@ impl Transport for SocketTransport {
             }
             let pool = match guard.as_mut() {
                 Some(pool) => pool,
-                None => guard.insert(WorkerPool::start(self.mode.clone(), nodes)?),
+                None => {
+                    guard.insert(WorkerPool::start(self.mode.clone(), nodes, self.tuning.clone())?)
+                }
             };
-            let frames = pool.run_round(spec, &programs)?;
-            return Ok(assemble_round(spec, programs.len(), frames));
+            let (frames, demotions) =
+                pool.run_round(spec, &programs, self.chaos.as_ref(), self.demote())?;
+            return Ok(assemble_round(spec, programs.len(), frames, demotions));
         }
 
         let listener =
@@ -394,13 +483,18 @@ impl Transport for SocketTransport {
 
         // Graceful teardown — no kill: close the listener first so any
         // worker still blocked on an unserved or queued connection sees
-        // a reset and exits on its own, then join/reap everything.
+        // a reset and exits on its own, then join/reap everything. A
+        // round that survived by demoting nodes tolerates the demoted
+        // workers' collateral errors and exit statuses (an unread
+        // duplicate, a genuinely dead process) — the demotion already
+        // booked the failure.
+        let clean = matches!(&result, Ok((_, demotions)) if demotions.is_empty());
         drop(listener);
         for handle in worker_threads {
             let worker = handle.join().map_err(|_| TransportError::Protocol {
                 reason: "worker thread panicked".to_string(),
             })?;
-            if result.is_ok() {
+            if clean {
                 // With a complete round a worker cannot have failed
                 // (its reply would have been missing); when the round
                 // itself failed, that error wins below.
@@ -411,7 +505,7 @@ impl Transport for SocketTransport {
             // One-shot workers exit on their own once their connection
             // (or the listener) is gone; wait() reaps without killing.
             let status = child.wait().map_err(|e| io_err("waiting for worker", &e))?;
-            if result.is_ok() && !status.success() {
+            if clean && !status.success() {
                 return Err(TransportError::WorkerFailed {
                     node,
                     reason: format!("exit status {status}"),
@@ -419,8 +513,8 @@ impl Transport for SocketTransport {
             }
         }
 
-        let frames = result?;
-        Ok(assemble_round(spec, programs.len(), frames))
+        let (frames, demotions) = result?;
+        Ok(assemble_round(spec, programs.len(), frames, demotions))
     }
 }
 
@@ -432,9 +526,15 @@ impl Transport for SocketTransport {
 pub(crate) fn accept_with_deadline(
     listener: &TcpListener,
     children: &mut [Child],
+    io_deadline: Duration,
 ) -> Result<TcpStream, TransportError> {
     listener.set_nonblocking(true).map_err(|e| io_err("set nonblocking", &e))?;
-    let deadline = std::time::Instant::now() + SOCKET_TIMEOUT;
+    let deadline = std::time::Instant::now() + io_deadline;
+    // Exponential poll backoff: tight while a worker is expected any
+    // microsecond (the common loopback case), relaxed toward a 16 ms
+    // cap while genuinely waiting — replaces the old fixed 2 ms sleep.
+    let mut poll = Duration::from_micros(500);
+    const POLL_CAP: Duration = Duration::from_millis(16);
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -457,11 +557,12 @@ pub(crate) fn accept_with_deadline(
                     }
                 }
                 if std::time::Instant::now() >= deadline {
-                    return Err(TransportError::Io {
+                    return Err(TransportError::TimedOut {
                         reason: "timed out waiting for a worker to connect".to_string(),
                     });
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                std::thread::sleep(poll);
+                poll = (poll * 2).min(POLL_CAP);
             }
             Err(err) => return Err(io_err("accepting worker", &err)),
         }
@@ -470,7 +571,11 @@ pub(crate) fn accept_with_deadline(
 
 impl SocketTransport {
     /// Accepts the `K` worker connections, hands out tasks, and
-    /// collects the replies.
+    /// collects the replies. With demotion enabled (explicitly, or
+    /// implied by a chaos plan) a per-node read/parse/validate failure
+    /// books a [`Demotion`] with its structured [`FailureCause`] and
+    /// synthesizes crash frames, so the round completes via erasure
+    /// decoding instead of erroring.
     fn drive_round(
         &self,
         spec: &RoundSpec<'_>,
@@ -479,14 +584,18 @@ impl SocketTransport {
         e: usize,
         listener: &TcpListener,
         children: &mut [Child],
-    ) -> Result<Vec<NodeFrames>, TransportError> {
+    ) -> Result<(Vec<NodeFrames>, Vec<Demotion>), TransportError> {
+        let io_deadline = self.tuning.io_deadline;
+        let deadline_ms = self.tuning.deadline_ms();
+        let demote = self.demote();
         // Hand out all tasks first (workers compute concurrently), then
         // drain the replies.
         let mut streams = Vec::with_capacity(nodes);
         for node in 0..nodes {
-            let mut stream = accept_with_deadline(listener, children)?;
-            stream.set_read_timeout(Some(SOCKET_TIMEOUT)).map_err(|e| io_err("set timeout", &e))?;
-            let task = task_for_node(spec, programs, nodes, node);
+            let mut stream = accept_with_deadline(listener, children, io_deadline)?;
+            stream.set_read_timeout(Some(io_deadline)).map_err(|e| io_err("set timeout", &e))?;
+            let chaos = self.chaos.as_ref().and_then(|plan| plan.effect(node));
+            let task = task_for_node(spec, programs, nodes, node, chaos, deadline_ms);
             stream
                 .write_all(task.to_wire().as_bytes())
                 .and_then(|()| stream.flush())
@@ -494,13 +603,30 @@ impl SocketTransport {
             streams.push(stream);
         }
         let mut frames = Vec::with_capacity(nodes);
+        let mut demotions = Vec::new();
         for (node, stream) in streams.into_iter().enumerate() {
             let mut reader = BufReader::new(stream);
-            let reply = parse_reply(&read_message(&mut reader)?)?;
-            validate_reply(&reply, node, nodes, e, programs.len())?;
-            frames.push(reply);
+            let outcome = match read_message_or_eof(&mut reader) {
+                Ok(Some(text)) => parse_reply(&text).and_then(|reply| {
+                    validate_reply(&reply, node, nodes, e, programs.len()).map(|()| reply)
+                }),
+                // Clean close before any reply: the worker dropped its
+                // frame or reset the connection.
+                Ok(None) => Err(TransportError::Io {
+                    reason: format!("worker {node} closed before replying"),
+                }),
+                Err(err) => Err(err),
+            };
+            match outcome {
+                Ok(reply) => frames.push(reply),
+                Err(err) if demote => {
+                    demotions.push(Demotion { node, cause: FailureCause::from_transport(&err) });
+                    frames.push(crash_frames(e, nodes, node, programs.len()));
+                }
+                Err(err) => return Err(err),
+            }
         }
-        Ok(frames)
+        Ok((frames, demotions))
     }
 }
 

@@ -16,7 +16,8 @@
 use crate::error::CamelotError;
 use crate::problem::{CamelotProblem, Evaluate, PrimeProof, ProofSpec};
 use camelot_cluster::{
-    Backend, Broadcast, ClusterConfig, EvalProgram, FaultPlan, RoundEval, RoundSpec, Transport,
+    Backend, Broadcast, ChaosPlan, ClusterConfig, Demotion, EvalProgram, FaultPlan, RoundEval,
+    RoundSpec, Transport, TransportTuning,
 };
 use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
@@ -40,6 +41,45 @@ pub enum PrimeSchedule {
     NttFriendly,
 }
 
+/// How the engine recovers when a run fails: transient transport
+/// failures are retried wholesale, and decode-radius overruns are
+/// *escalated* — the run is repeated with a larger fault budget `f`
+/// (hence a longer code and fresh primes), trading redundancy for
+/// success. The default is all-zero: no recovery, the historical
+/// fail-fast behaviour.
+///
+/// Escalation converges whenever the faulty fraction is below 1/2:
+/// each step adds `2 * escalation_step` codeword symbols but only
+/// `escalation_step` of them can be newly faulty. Note that *simulated*
+/// chaos ([`ChaosPlan`]) is deterministic, so a bare retry replays the
+/// identical failure — retries serve genuinely transient faults (a
+/// crashed worker process, a dropped connection); escalation is the
+/// lever that makes chaos runs succeed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Whole-run retries granted for [`CamelotError::TransportFailed`].
+    pub max_retries: u32,
+    /// Redundancy escalations granted for decode/verification failures.
+    pub max_escalations: u32,
+    /// How much the fault budget `f` grows per escalation.
+    pub escalation_step: usize,
+}
+
+impl RecoveryPolicy {
+    /// No recovery: fail fast (the historical behaviour).
+    #[must_use]
+    pub fn none() -> Self {
+        RecoveryPolicy::default()
+    }
+
+    /// A balanced default: one transport retry, up to `escalations`
+    /// redundancy escalations of one fault-budget step each.
+    #[must_use]
+    pub fn escalating(escalations: u32) -> Self {
+        RecoveryPolicy { max_retries: 1, max_escalations: escalations, escalation_step: 1 }
+    }
+}
+
 /// Engine configuration for one run.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
@@ -61,6 +101,8 @@ pub struct EngineConfig {
     pub verification_trials: usize,
     /// Seed for verification randomness.
     pub seed: u64,
+    /// Retry/escalation behaviour when a run fails (default: none).
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
@@ -75,6 +117,7 @@ impl EngineConfig {
             decode_at_all_nodes: false,
             verification_trials: 2,
             seed: 0x00CA_110C_A11E,
+            recovery: RecoveryPolicy::none(),
         }
     }
 
@@ -132,6 +175,30 @@ impl EngineConfig {
     #[must_use]
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.cluster.backend = backend;
+        self
+    }
+
+    /// Installs a transport-level chaos plan, injected identically by
+    /// every backend (orthogonal to the algebraic [`FaultPlan`]).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.cluster = self.cluster.with_chaos(Some(chaos));
+        self
+    }
+
+    /// Overrides the transport tuning (I/O deadlines, retry/backoff,
+    /// dead-node demotion).
+    #[must_use]
+    pub fn with_tuning(mut self, tuning: TransportTuning) -> Self {
+        self.cluster = self.cluster.with_tuning(tuning);
+        self
+    }
+
+    /// Installs a recovery policy (whole-run retries for transport
+    /// failures, redundancy escalation for decode-radius overruns).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -222,6 +289,21 @@ pub struct RunReport {
     /// count), 1 for a solo [`Engine::run`], 0 when no round ran at all
     /// (a cache hit).
     pub coalesced_requests: usize,
+    /// Erasure positions the first decider saw, summed over primes —
+    /// crashed *and* transport-demoted nodes show up here.
+    pub erasures_seen: usize,
+    /// Error positions the Gao decoder corrected at the first decider,
+    /// summed over primes (byzantine symbols and garbled frames).
+    pub errors_corrected: usize,
+    /// Whole-run transport retries the recovery policy spent.
+    pub retries: u32,
+    /// Redundancy escalations the recovery policy spent; nonzero means
+    /// the run *degraded* — it succeeded only at a larger-than-requested
+    /// fault budget (and therefore code length).
+    pub degraded: u32,
+    /// Nodes the transport demoted to erasures this run, with their
+    /// structured causes (deduplicated by node, first cause wins).
+    pub demotions: Vec<Demotion>,
 }
 
 impl RunReport {
@@ -229,21 +311,35 @@ impl RunReport {
     /// rounds/coalescing/traffic reporting path used by every experiment
     /// table.
     #[must_use]
-    pub fn traffic_headers() -> [&'static str; 5] {
-        ["rounds", "coalesced", "cache hits", "symbols", "bytes on wire"]
+    pub fn traffic_headers() -> [&'static str; 9] {
+        [
+            "rounds",
+            "coalesced",
+            "cache hits",
+            "symbols",
+            "bytes on wire",
+            "erasures",
+            "errors",
+            "retries",
+            "degraded",
+        ]
     }
 
-    /// The round/coalescing/cache/traffic counters of this report,
-    /// formatted for one table row (same order as
+    /// The round/coalescing/cache/traffic/recovery counters of this
+    /// report, formatted for one table row (same order as
     /// [`RunReport::traffic_headers`]).
     #[must_use]
-    pub fn traffic_cells(&self) -> [String; 5] {
+    pub fn traffic_cells(&self) -> [String; 9] {
         [
             self.rounds.to_string(),
             self.coalesced_requests.to_string(),
             self.cache_hits.to_string(),
             self.symbols_broadcast.to_string(),
             self.bytes_on_wire.to_string(),
+            self.erasures_seen.to_string(),
+            self.errors_corrected.to_string(),
+            self.retries.to_string(),
+            self.degraded.to_string(),
         ]
     }
 }
@@ -387,9 +483,7 @@ impl Engine {
         problem: &P,
     ) -> Result<CamelotOutcome<P::Output>, CamelotError> {
         let spec = problem.spec();
-        let e = code_length(&spec, self.config.fault_tolerance);
-        let primes = self.config.primes_for(&spec, e);
-        let mut outcomes = self.run_rounds(&[problem], &[spec], &primes, e)?;
+        let mut outcomes = self.prepare(&[problem], &[spec], &spec)?;
         Ok(outcomes.pop().expect("one problem yields one outcome"))
     }
 
@@ -428,10 +522,51 @@ impl Engine {
             specs.iter().map(|s| s.min_modulus).max().expect("nonempty batch"),
             specs.iter().map(|s| s.value_bits).max().expect("nonempty batch"),
         );
-        let e = code_length(&joint, self.config.fault_tolerance);
-        let primes = self.config.primes_for(&joint, e);
         let refs: Vec<&P> = problems.iter().collect();
-        self.run_rounds(&refs, &specs, &primes, e)
+        self.prepare(&refs, &specs, &joint)
+    }
+
+    /// The recovery wrapper around [`Engine::run_rounds`]: derives the
+    /// code length and primes from the joint spec and the *current*
+    /// fault budget, then applies the configured [`RecoveryPolicy`] —
+    /// transport failures are retried wholesale, decode-radius overruns
+    /// escalate the fault budget (fresh code length and primes) up to
+    /// the policy bound. Each successful outcome's report records the
+    /// retries and escalations it took.
+    fn prepare<P: CamelotProblem>(
+        &self,
+        problems: &[&P],
+        specs: &[ProofSpec],
+        joint: &ProofSpec,
+    ) -> Result<Vec<CamelotOutcome<P::Output>>, CamelotError> {
+        let policy = self.config.recovery;
+        let mut retries = 0u32;
+        let mut escalations = 0u32;
+        loop {
+            let f = self.config.fault_tolerance + escalations as usize * policy.escalation_step;
+            let e = code_length(joint, f);
+            let primes = self.config.primes_for(joint, e);
+            match self.run_rounds(problems, specs, &primes, e) {
+                Ok(mut outcomes) => {
+                    for outcome in &mut outcomes {
+                        outcome.report.retries = retries;
+                        outcome.report.degraded = escalations;
+                    }
+                    return Ok(outcomes);
+                }
+                Err(CamelotError::TransportFailed { .. }) if retries < policy.max_retries => {
+                    retries += 1;
+                }
+                Err(
+                    CamelotError::DecodeFailed { .. }
+                    | CamelotError::DecodeDisagreement { .. }
+                    | CamelotError::VerificationFailed { .. },
+                ) if escalations < policy.max_escalations && policy.escalation_step > 0 => {
+                    escalations += 1;
+                }
+                Err(err) => return Err(err),
+            }
+        }
     }
 
     /// Redeems a previously prepared certificate for `problem` without
@@ -598,6 +733,29 @@ impl Engine {
                     reason: format!("{} backend: {err}", transport.name()),
                 })?;
             debug_assert_eq!(round.broadcasts.len(), problems.len());
+            // Transport-demoted nodes contributed only synthesized
+            // erasure frames — they cannot decide (they may not even be
+            // alive). Their symbols are recovered as erasures exactly
+            // like algebraic crashes.
+            let deciding: Vec<usize> = honest
+                .iter()
+                .copied()
+                .filter(|&n| !round.demotions.iter().any(|d| d.node == n))
+                .collect();
+            if deciding.is_empty() {
+                return Err(CamelotError::TransportFailed {
+                    reason: format!(
+                        "{} backend: every honest node was demoted ({})",
+                        transport.name(),
+                        round
+                            .demotions
+                            .iter()
+                            .map(Demotion::to_string)
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ),
+                });
+            }
             for (i, broadcast) in round.broadcasts.iter().enumerate() {
                 let acc = &mut accs[i];
                 acc.report.total_evaluations += broadcast.total_evaluations();
@@ -607,12 +765,17 @@ impl Engine {
                 acc.report.rounds += 1;
                 acc.report.symbols_broadcast += round.traffic.symbols_broadcast;
                 acc.report.bytes_on_wire += round.traffic.bytes_on_wire;
+                for demotion in &round.demotions {
+                    if !acc.report.demotions.iter().any(|d| d.node == demotion.node) {
+                        acc.report.demotions.push(*demotion);
+                    }
+                }
                 let proof = self.decode_and_check(
                     &code,
                     &field,
                     broadcast,
                     specs[i].degree_bound,
-                    &honest,
+                    &deciding,
                     evaluators[i].as_ref(),
                     acc,
                 )?;
@@ -647,14 +810,15 @@ impl Engine {
         field: &PrimeField,
         broadcast: &Broadcast,
         degree_bound: usize,
-        honest: &[usize],
+        deciding: &[usize],
         evaluator: &dyn Evaluate,
         acc: &mut ProblemAcc,
     ) -> Result<PrimeProof, CamelotError> {
         let q = field.modulus();
-        // Every deciding node runs the Gao decoder on its own view.
+        // Every deciding node (honest minus transport-demoted) runs the
+        // Gao decoder on its own view.
         let deciders: &[usize] =
-            if self.config.decode_at_all_nodes { honest } else { &honest[..1] };
+            if self.config.decode_at_all_nodes { deciding } else { &deciding[..1] };
         let mut agreed: Option<PrimeProof> = None;
         for &node in deciders {
             let view = broadcast.view_for(node);
@@ -664,6 +828,13 @@ impl Engine {
                 .map_err(|source| CamelotError::DecodeFailed { modulus: q, node, source })?;
             acc.report.decode_time += decode_started.elapsed();
             acc.report.xgcd_time += profile.xgcd;
+            // Recovery counters attribute to the first decider only —
+            // with full decoding every honest node sees (roughly) the
+            // same noise and the counters would multiply by `K`.
+            if agreed.is_none() {
+                acc.report.erasures_seen += decoded.erasure_positions.len();
+                acc.report.errors_corrected += decoded.error_positions.len();
+            }
             for &pos in &decoded.error_positions {
                 acc.faulty.insert(broadcast.assignment[pos]);
             }
@@ -799,6 +970,38 @@ mod tests {
             CamelotError::DecodeFailed { .. } | CamelotError::VerificationFailed { .. } => {}
             other => panic!("expected decode/verification failure, got {other}"),
         }
+    }
+
+    #[test]
+    fn escalation_recovers_beyond_the_requested_radius() {
+        let problem = Cube { c: 31 };
+        // f = 1: e = 3 + 1 + 2 = 6, slices (2,2,1,1) — two crashed
+        // nodes own 4 erasures, over the erasure radius e - d - 1 = 2.
+        let plan = FaultPlan::with_faults(4, &[(0, FaultKind::Crash), (1, FaultKind::Crash)]);
+        let strict = EngineConfig::sequential(4, 1).with_plan(plan.clone());
+        assert!(matches!(
+            Engine::new(strict.clone()).run(&problem),
+            Err(CamelotError::DecodeFailed { .. })
+        ));
+        // One escalation step: f = 2, e = 8, slices (2,2,2,2) — the
+        // same 4 erasures now fit the radius e - d - 1 = 4.
+        let outcome =
+            Engine::new(strict.with_recovery(RecoveryPolicy::escalating(2))).run(&problem).unwrap();
+        assert_eq!(outcome.output, 31u128.pow(3));
+        assert_eq!(outcome.report.degraded, 1, "one escalation spent");
+        assert_eq!(outcome.report.retries, 0);
+        assert_eq!(outcome.certificate.code_length, 3 + 1 + 4);
+        assert_eq!(outcome.certificate.crashed_nodes, vec![0, 1]);
+        assert_eq!(outcome.report.erasures_seen, 4 * outcome.report.primes.len());
+    }
+
+    #[test]
+    fn recovery_counters_flow_into_traffic_cells() {
+        let problem = Cube { c: 3 };
+        let outcome = Engine::sequential(4, 1).run(&problem).unwrap();
+        let cells = outcome.report.traffic_cells();
+        assert_eq!(RunReport::traffic_headers().len(), cells.len());
+        assert_eq!(&cells[5..], ["0", "0", "0", "0"], "clean run: all recovery counters zero");
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod wire;
 
 pub use engine::{
     choose_primes, choose_primes_ntt, code_length, ntt_log_len, CamelotOutcome, Certificate,
-    Engine, EngineConfig, PrimeSchedule, RunReport,
+    Engine, EngineConfig, PrimeSchedule, RecoveryPolicy, RunReport,
 };
 pub use error::CamelotError;
 pub use merlin::{arthur_verify, merlin_prove};
@@ -40,4 +40,7 @@ pub use verify::{soundness_error, spot_check, VerifyReport};
 // offer wire-expressible evaluators ([`Evaluate::program`]) and engine
 // users can pick a broadcast backend — or hand [`Engine::with_transport`]
 // a shared persistent one — without naming `camelot-cluster`.
-pub use camelot_cluster::{Backend, EvalProgram, SocketTransport, Transport, WorkerMode};
+pub use camelot_cluster::{
+    Backend, ChaosEffect, ChaosPlan, Deadline, Demotion, EvalProgram, FailureCause, RetryPolicy,
+    SocketTransport, Transport, TransportTuning, WorkerMode,
+};

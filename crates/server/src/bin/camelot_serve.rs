@@ -11,10 +11,18 @@
 //! camelot-serve [--listen HOST:PORT] [--nodes K] [--fault-tolerance F]
 //!               [--workers threads|process] [--batch-window-ms N]
 //!               [--store-capacity N] [--store-dir DIR] [--ntt]
+//!               [--io-deadline-ms N] [--client-timeout-ms N]
+//!               [--demote-dead-workers] [--escalations N]
 //! ```
+//!
+//! `--io-deadline-ms` bounds every coordinator–worker read (replacing
+//! the 60 s default); `--demote-dead-workers` turns a dead or hung
+//! worker into an erasure the round decodes through instead of a failed
+//! round; `--escalations` lets the engine raise the fault budget when a
+//! round decodes outside the configured radius.
 
 use camelot_cluster::sibling_worker_binary;
-use camelot_core::{PrimeSchedule, WorkerMode};
+use camelot_core::{PrimeSchedule, RecoveryPolicy, WorkerMode};
 use camelot_server::{run_daemon, Service, ServiceConfig};
 use std::io::Write;
 use std::net::TcpListener;
@@ -24,7 +32,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: camelot-serve [--listen HOST:PORT] [--nodes K] \
 [--fault-tolerance F] [--workers threads|process] [--batch-window-ms N] \
-[--store-capacity N] [--store-dir DIR] [--ntt]";
+[--store-capacity N] [--store-dir DIR] [--ntt] [--io-deadline-ms N] \
+[--client-timeout-ms N] [--demote-dead-workers] [--escalations N]";
 
 fn parse_args() -> Result<(String, ServiceConfig), String> {
     let mut listen = "127.0.0.1:0".to_string();
@@ -66,6 +75,20 @@ fn parse_args() -> Result<(String, ServiceConfig), String> {
             }
             "--store-dir" => config.store_dir = Some(value("DIR")?.into()),
             "--ntt" => config.schedule = PrimeSchedule::NttFriendly,
+            "--io-deadline-ms" => {
+                let ms: u64 = value("milliseconds")?.parse().map_err(|_| "bad --io-deadline-ms")?;
+                config.io_deadline = Some(Duration::from_millis(ms.max(1)));
+            }
+            "--client-timeout-ms" => {
+                let ms: u64 =
+                    value("milliseconds")?.parse().map_err(|_| "bad --client-timeout-ms")?;
+                config.client_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--demote-dead-workers" => config.demote_dead_workers = true,
+            "--escalations" => {
+                let count: u32 = value("a count")?.parse().map_err(|_| "bad --escalations")?;
+                config.recovery = RecoveryPolicy::escalating(count);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }

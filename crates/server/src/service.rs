@@ -21,8 +21,9 @@
 use crate::wire::{read_frame, schedule_token, PolyRequest, Request, Response};
 use camelot_cluster::{EvalProgram, SocketTransport};
 use camelot_core::{
-    CamelotError, CamelotOutcome, CamelotProblem, Certificate, Engine, EngineConfig, Evaluate,
-    PrimeProof, PrimeSchedule, ProofSpec, WorkerMode,
+    CamelotError, CamelotOutcome, CamelotProblem, Certificate, ChaosPlan, Deadline, Engine,
+    EngineConfig, Evaluate, PrimeProof, PrimeSchedule, ProofSpec, RecoveryPolicy, RetryPolicy,
+    TransportTuning, WorkerMode,
 };
 use camelot_ff::{crt_u, PrimeField, Residue};
 use camelot_store::{cert_key, CertKey, CertStore};
@@ -62,6 +63,22 @@ pub struct ServiceConfig {
     pub verification_trials: usize,
     /// Verification randomness seed.
     pub seed: u64,
+    /// Coordinator–worker I/O deadline; `None` defers to the
+    /// `CAMELOT_SOCKET_TIMEOUT_MS` environment variable (60 s fallback).
+    pub io_deadline: Option<Duration>,
+    /// How long a client connection may sit idle before the daemon (or
+    /// the client helper) gives up on it.
+    pub client_timeout: Duration,
+    /// Optional transport-level chaos plan injected into every round.
+    pub chaos: Option<ChaosPlan>,
+    /// Engine recovery policy (transport retries, redundancy
+    /// escalation).
+    pub recovery: RecoveryPolicy,
+    /// Demote a dead/slow/hung pool worker to an erasure mid-round
+    /// instead of failing the round (the round then completes via
+    /// erasure decoding; the default keeps the historical
+    /// fail-then-respawn-then-retry behaviour).
+    pub demote_dead_workers: bool,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +93,11 @@ impl Default for ServiceConfig {
             schedule: PrimeSchedule::Smallest,
             verification_trials: 2,
             seed: 0x00CA_110C_A11E,
+            io_deadline: None,
+            client_timeout: CLIENT_TIMEOUT,
+            chaos: None,
+            recovery: RecoveryPolicy::none(),
+            demote_dead_workers: false,
         }
     }
 }
@@ -165,11 +187,18 @@ impl Service {
     ///
     /// Certificate-store directory trouble.
     pub fn new(config: ServiceConfig) -> Result<Service, String> {
-        let transport = SocketTransport::persistent(config.workers.clone());
+        let mut tuning = TransportTuning::default().with_demotion(config.demote_dead_workers);
+        if let Some(io_deadline) = config.io_deadline {
+            tuning = tuning.with_io_deadline(io_deadline);
+        }
+        let transport = SocketTransport::persistent(config.workers.clone())
+            .with_tuning(tuning)
+            .with_chaos(config.chaos.clone());
         let mut engine_config = EngineConfig::sequential(config.nodes, config.fault_tolerance);
         engine_config.prime_schedule = config.schedule;
         engine_config.verification_trials = config.verification_trials;
         engine_config.seed = config.seed;
+        engine_config.recovery = config.recovery;
         let engine = Engine::with_transport(engine_config, Arc::new(transport.clone()));
         let store = match &config.store_dir {
             Some(dir) => CertStore::with_dir(config.store_capacity, dir.clone())
@@ -361,7 +390,7 @@ fn outcome_response(result: Result<CamelotOutcome<u128>, CamelotError>) -> Respo
 /// Serves one client connection: one request frame in, one response
 /// frame out.
 fn try_handle(stream: TcpStream, service: &Service, stop: &AtomicBool) -> Result<(), String> {
-    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(service.config.client_timeout)).map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut stream = stream;
     let Some(text) = read_frame(&mut reader)? else {
@@ -430,14 +459,53 @@ pub fn run_daemon(listener: &TcpListener, service: &Arc<Service>) -> Result<(), 
     service.shutdown()
 }
 
-/// Client helper: one request frame to `addr`, one response frame back.
+/// Client helper: one request frame to `addr`, one response frame back,
+/// with the default 120 s idle timeout and no retries. See
+/// [`request_with`] for configurable deadlines and retry/backoff.
 ///
 /// # Errors
 ///
 /// Connection trouble, malformed frames, a daemon that hung up early.
 pub fn request(addr: &str, request: &Request) -> Result<Response, String> {
+    request_with(addr, request, CLIENT_TIMEOUT, &RetryPolicy::none())
+}
+
+/// Client helper with an explicit per-attempt idle timeout and a
+/// retry/backoff policy: failed attempts (connection refused, daemon
+/// hang-up, idle timeout) are retried with the policy's seeded backoff
+/// until the attempt budget or the overall deadline (`timeout` from the
+/// first attempt) runs out.
+///
+/// # Errors
+///
+/// The last attempt's failure: connection trouble, malformed frames, a
+/// daemon that hung up early.
+pub fn request_with(
+    addr: &str,
+    request: &Request,
+    timeout: Duration,
+    retry: &RetryPolicy,
+) -> Result<Response, String> {
+    let deadline = Deadline::after(timeout);
+    let mut attempt = 0u32;
+    loop {
+        match try_request(addr, request, timeout) {
+            Ok(response) => return Ok(response),
+            Err(err) if attempt < retry.retries() && !deadline.expired() => {
+                thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+                // The error has nowhere to go until the budget runs out.
+                let _retried = err;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// One request/response attempt against `addr`.
+fn try_request(addr: &str, request: &Request, timeout: Duration) -> Result<Response, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    stream.set_read_timeout(Some(CLIENT_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(timeout)).map_err(|e| e.to_string())?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     writer
         .write_all(request.to_wire().as_bytes())

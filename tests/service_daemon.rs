@@ -2,12 +2,12 @@
 //! shared broadcast rounds, zero-round cache hits with bit-identical
 //! certificates, worker-failure recovery, and the TCP daemon loop.
 
-use camelot::core::WorkerMode;
+use camelot::core::{ChaosEffect, ChaosPlan, FailureCause, WorkerMode};
 use camelot::server::{request, run_daemon, PolyRequest, Request, Service, ServiceConfig};
 use std::net::TcpListener;
 use std::sync::{Arc, Barrier};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn poly(coefficients: Vec<u64>) -> PolyRequest {
     PolyRequest {
@@ -119,6 +119,41 @@ fn killed_worker_is_respawned_and_service_recovers() {
     let status = service.status();
     assert!(status.worker_failures >= 1, "the kill must be recorded");
     assert!(status.respawns >= 1, "the pool must have respawned the worker");
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn hung_worker_is_demoted_within_the_deadline_and_the_round_still_decodes() {
+    // Node 1 hangs mid-round on every round. The coordinator's 300 ms
+    // io deadline — far below the historical 60 s socket timeout —
+    // demotes it to a crash erasure, and with f = 1 the decoder reads
+    // straight through the hole. The caller just sees a success.
+    let config = ServiceConfig {
+        workers: WorkerMode::Threads,
+        batch_window: Duration::from_millis(5),
+        io_deadline: Some(Duration::from_millis(300)),
+        demote_dead_workers: true,
+        chaos: Some(ChaosPlan::with_effects(4, &[(1, ChaosEffect::Hang)]).unwrap()),
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::new(config).unwrap());
+    let p = poly(vec![4, 0, 9]);
+    let started = Instant::now();
+    let outcome = service.prepare(&p).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(outcome.output, poly_sum(&p.coefficients, p.sum_count));
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "a hung worker must not stall the round anywhere near the old 60 s \
+         timeout (took {elapsed:?})"
+    );
+    assert!(
+        outcome.report.demotions.iter().any(|d| d.node == 1 && d.cause == FailureCause::Timeout),
+        "the hang must surface as a structured timeout demotion, got {:?}",
+        outcome.report.demotions
+    );
+    assert!(outcome.report.erasures_seen > 0, "the demotion must decode as an erasure");
+    assert!(outcome.certificate.crashed_nodes.contains(&1));
     service.shutdown().unwrap();
 }
 

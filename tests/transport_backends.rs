@@ -4,8 +4,8 @@
 //! end to end on each of them.
 
 use camelot::cluster::{
-    ChannelTransport, EvalProgram, FaultKind, FaultPlan, InProcess, ProgramEval, RoundSpec,
-    SocketTransport, Transport,
+    ChannelTransport, ChaosEffect, ChaosPlan, EvalProgram, FailureCause, FaultKind, FaultPlan,
+    InProcess, ProgramEval, RoundSpec, SocketTransport, Transport, TransportTuning,
 };
 use camelot::core::{
     Backend, CamelotError, CamelotProblem, Engine, EngineConfig, Evaluate, PrimeProof, ProofSpec,
@@ -13,6 +13,8 @@ use camelot::core::{
 };
 use camelot::ff::{crt_u, PrimeField, Residue};
 use camelot::triangles::TriangleCount;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One of each behaviour over 10 nodes — the full fault matrix.
 fn full_matrix_plan(nodes: usize) -> FaultPlan {
@@ -221,6 +223,202 @@ fn crash_fault_erasure_decoding_is_identical_across_backends() {
         assert_eq!(outcome.output, reference.output, "{backend:?}");
         assert_eq!(outcome.certificate, reference.certificate, "{backend:?}");
     }
+}
+
+/// One of each transport-level chaos effect over 10 honest nodes. The
+/// I/O deadline is far below the historical 60 s so hangs and oversize
+/// delays resolve quickly (and identically: the delivery-versus-
+/// demotion decision compares configured numbers, never wall clock).
+fn full_chaos_plan(nodes: usize) -> ChaosPlan {
+    ChaosPlan::with_effects(
+        nodes,
+        &[
+            (0, ChaosEffect::Delay { millis: 5 }),
+            (1, ChaosEffect::DropFrame),
+            (2, ChaosEffect::Truncate { seed: 7 }),
+            (3, ChaosEffect::Garble { seed: 9 }),
+            (4, ChaosEffect::Duplicate),
+            (5, ChaosEffect::Reset),
+            (6, ChaosEffect::Hang),
+        ],
+    )
+    .expect("all nodes in range")
+}
+
+fn chaos_tuning() -> TransportTuning {
+    TransportTuning::default().with_io_deadline(Duration::from_millis(300))
+}
+
+/// The tentpole acceptance criterion: a seeded chaos plan is injected
+/// *identically* by all four backends — the in-process simulation, the
+/// channel threads, one-shot loopback sockets, and the persistent
+/// socket pool all deliver bit-identical broadcasts, the same demotion
+/// list (same nodes, same structured causes), and the same traffic
+/// accounting.
+#[test]
+fn chaos_rounds_are_bit_identical_across_all_four_backends() {
+    let nodes = 10;
+    let field = PrimeField::new(1_048_583).unwrap();
+    let points: Vec<u64> = (0..nodes as u64).collect();
+    let plan = FaultPlan::all_honest(nodes);
+    let spec = RoundSpec { field: &field, points: &points, plan: &plan };
+    let eval = ProgramEval::new(
+        &field,
+        vec![EvalProgram::Poly(vec![5, 0, 3, 1]), EvalProgram::Poly(vec![1_000_000, 999])],
+    );
+    let chaos = full_chaos_plan(nodes);
+    let tuning = chaos_tuning();
+
+    let backends: Vec<(&str, Box<dyn Transport>)> = vec![
+        (
+            "inproc",
+            Box::new(
+                InProcess::new(false).with_tuning(tuning.clone()).with_chaos(Some(chaos.clone())),
+            ),
+        ),
+        (
+            "inproc-par",
+            Box::new(
+                InProcess::new(true).with_tuning(tuning.clone()).with_chaos(Some(chaos.clone())),
+            ),
+        ),
+        (
+            "channel",
+            Box::new(
+                ChannelTransport::new().with_tuning(tuning.clone()).with_chaos(Some(chaos.clone())),
+            ),
+        ),
+        (
+            "socket",
+            Box::new(
+                SocketTransport::loopback()
+                    .with_tuning(tuning.clone())
+                    .with_chaos(Some(chaos.clone())),
+            ),
+        ),
+        (
+            "socket-pool",
+            Box::new(
+                SocketTransport::persistent(WorkerMode::Threads)
+                    .with_tuning(tuning.clone())
+                    .with_chaos(Some(chaos.clone())),
+            ),
+        ),
+    ];
+
+    let reference = InProcess::new(false)
+        .with_tuning(tuning.clone())
+        .with_chaos(Some(chaos.clone()))
+        .run(&spec, &eval)
+        .expect("reference chaos round");
+    // Dropped, reset, hung, and truncated senders are demoted with
+    // their structured causes; garble and within-deadline delay are not
+    // demotions (their frames arrive and parse).
+    let expected: Vec<(usize, FailureCause)> =
+        reference.demotions.iter().map(|demotion| (demotion.node, demotion.cause)).collect();
+    assert_eq!(
+        expected,
+        vec![
+            (1, FailureCause::Reset),
+            (2, FailureCause::Protocol),
+            (5, FailureCause::Reset),
+            (6, FailureCause::Timeout),
+        ]
+    );
+
+    for (name, transport) in backends {
+        let outcome = transport.run(&spec, &eval).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(outcome.demotions, reference.demotions, "{name}: demotion list diverged");
+        assert_eq!(outcome.traffic, reference.traffic, "{name}: traffic accounting diverged");
+        for (poly, (got, want)) in outcome.broadcasts.iter().zip(&reference.broadcasts).enumerate()
+        {
+            assert!(got.same_word(want), "{name}: polynomial {poly} word diverged");
+            for receiver in 0..nodes {
+                assert_eq!(
+                    got.view_for(receiver),
+                    want.view_for(receiver),
+                    "{name}: polynomial {poly}, receiver {receiver}"
+                );
+            }
+        }
+    }
+}
+
+/// Within the decoding radius, chaos costs nothing but redundancy: the
+/// decoded proofs and the recovered output are bit-identical to the
+/// chaos-free run, the garbled node is identified as faulty, demoted
+/// nodes land among the crashed, and the recovery counters account for
+/// the noise — identically on every backend, persistent pool included.
+#[test]
+fn engine_absorbs_chaos_within_radius_identically_across_backends() {
+    let problem = WirePoly { coeffs: vec![123_456_789, 7, 0, 5] };
+    let d = problem.spec().degree_bound;
+    let budget = 6;
+    let nodes = d + 1 + 2 * budget; // 16 nodes, one point each
+    let chaos = ChaosPlan::with_effects(
+        nodes,
+        &[
+            (3, ChaosEffect::Garble { seed: 11 }),  // 1 error
+            (5, ChaosEffect::Truncate { seed: 4 }), // erasure (Protocol)
+            (7, ChaosEffect::Hang),                 // erasure (Timeout)
+            (9, ChaosEffect::DropFrame),            // erasure (Reset)
+        ],
+    )
+    .expect("nodes in range");
+    // 2 errors + 3 erasures = 5 <= e - d - 1 = 12: inside the radius.
+
+    let config = |backend: Backend| {
+        EngineConfig::sequential(nodes, budget).with_backend(backend).with_tuning(chaos_tuning())
+    };
+    let clean = Engine::new(config(Backend::InProcess)).run(&problem).expect("chaos-free run");
+
+    let chaotic = |backend: Backend| {
+        Engine::new(config(backend).with_chaos(chaos.clone()))
+            .run(&problem)
+            .expect("chaos within the radius must decode")
+    };
+    let reference = chaotic(Backend::InProcess);
+
+    // The certificate proves the same statement the chaos-free run
+    // proved — same proofs, same output, same code parameters.
+    assert_eq!(reference.output, clean.output);
+    assert_eq!(reference.certificate.proofs, clean.certificate.proofs);
+    assert_eq!(reference.certificate.code_length, clean.certificate.code_length);
+    assert_eq!(reference.certificate.degree_bound, clean.certificate.degree_bound);
+    // The noise is identified, not tolerated silently.
+    assert_eq!(reference.certificate.identified_faulty_nodes, vec![3]);
+    assert_eq!(reference.certificate.crashed_nodes, vec![5, 7, 9]);
+    let primes = reference.report.primes.len();
+    assert_eq!(reference.report.erasures_seen, 3 * primes);
+    assert_eq!(reference.report.errors_corrected, primes);
+    assert_eq!(
+        reference.report.demotions.iter().map(|demotion| demotion.node).collect::<Vec<_>>(),
+        vec![5, 7, 9]
+    );
+
+    for backend in [Backend::Channel, Backend::Socket(WorkerMode::Threads)] {
+        let outcome = chaotic(backend.clone());
+        assert_eq!(outcome.output, reference.output, "{backend:?}");
+        assert_eq!(outcome.certificate, reference.certificate, "{backend:?}");
+        assert_eq!(outcome.report.demotions, reference.report.demotions, "{backend:?}");
+        assert_eq!(outcome.report.erasures_seen, reference.report.erasures_seen, "{backend:?}");
+        assert_eq!(
+            outcome.report.errors_corrected, reference.report.errors_corrected,
+            "{backend:?}"
+        );
+    }
+
+    // The persistent pool (engine-shared transport) sees the same round.
+    let pool = SocketTransport::persistent(WorkerMode::Threads)
+        .with_tuning(chaos_tuning())
+        .with_chaos(Some(chaos));
+    let engine =
+        Engine::with_transport(EngineConfig::sequential(nodes, budget), Arc::new(pool.clone()));
+    let outcome = engine.run(&problem).expect("pool absorbs chaos");
+    assert_eq!(outcome.output, reference.output, "socket-pool");
+    assert_eq!(outcome.certificate, reference.certificate, "socket-pool");
+    assert_eq!(outcome.report.demotions, reference.report.demotions, "socket-pool");
+    pool.shutdown_pool().expect("clean pool shutdown");
 }
 
 /// Problems whose evaluators are opaque closures cannot run on the

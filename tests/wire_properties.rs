@@ -4,8 +4,8 @@
 //! well-formed message exactly.
 
 use camelot::cluster::{
-    encode_reply, parse_reply, serve_worker, EvalProgram, FaultKind, FrameBody, NodeFrames, Task,
-    TransportError,
+    encode_reply, parse_reply, serve_worker, ChaosEffect, EvalProgram, FaultKind, FrameBody,
+    NodeFrames, Task, TransportError,
 };
 use camelot::core::{Certificate, PrimeProof};
 use camelot::ff::{RngLike, SplitMix64};
@@ -110,6 +110,8 @@ fn sample_task() -> Task {
         programs: vec![EvalProgram::Poly(vec![1, 2, 3]), EvalProgram::Poly(vec![0, 0, 9])],
         lo: 12,
         points: vec![12, 13, 14],
+        chaos: Some(ChaosEffect::Garble { seed: 5 }),
+        deadline_ms: 250,
     }
 }
 
@@ -208,6 +210,16 @@ fn random_frames_roundtrip_exactly() {
             _ => FaultKind::Equivocate { seed: rng.next_u64() },
         };
         let slice = (rng.next_u64() % 5) as usize;
+        let chaos = match rng.next_u64() % 8 {
+            0 => Some(ChaosEffect::Delay { millis: rng.next_u64() % 1000 }),
+            1 => Some(ChaosEffect::DropFrame),
+            2 => Some(ChaosEffect::Truncate { seed: rng.next_u64() }),
+            3 => Some(ChaosEffect::Garble { seed: rng.next_u64() }),
+            4 => Some(ChaosEffect::Duplicate),
+            5 => Some(ChaosEffect::Reset),
+            6 => Some(ChaosEffect::Hang),
+            _ => None,
+        };
         let task = Task {
             modulus: 2 + rng.next_u64() % (1 << 40),
             nodes,
@@ -222,6 +234,8 @@ fn random_frames_roundtrip_exactly() {
                 .collect(),
             lo: (rng.next_u64() % 1000) as usize,
             points: (0..slice as u64).collect(),
+            chaos,
+            deadline_ms: 1 + rng.next_u64() % 100_000,
         };
         assert_eq!(Task::from_wire(&task.to_wire()).unwrap(), task, "trial {trial}");
 
