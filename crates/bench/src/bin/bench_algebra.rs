@@ -1,6 +1,11 @@
 //! Machine-readable benchmark of the fast algebra stack, across code
 //! lengths `2^min_log .. 2^max_log` over NTT-friendly primes:
 //!
+//! * field slice kernels in isolation (Melem/s): per-element scalar
+//!   loops vs the chunked slice kernels of `camelot-ff` (Barrett
+//!   `mul_slice`, Shoup `mul_shoup_slice`, blocked batch inversion),
+//!   plus a scoped-thread split of the Shoup kernel under the process
+//!   thread budget;
 //! * consecutive-point Reed–Solomon code: encode (Horner baseline vs
 //!   subproduct-tree dispatch), interpolation (Newton baseline vs tree),
 //!   full Gao decode with a per-phase breakdown;
@@ -10,6 +15,9 @@
 //!   cache);
 //! * the partial-xgcd step in isolation, classical vs half-GCD, on the
 //!   exact `(g0, g1, stop)` triple the Gao decoder feeds it.
+//!
+//! Every per-length row records the thread budget the NTT/decode paths
+//! ran under (`CAMELOT_THREADS`, defaulting to the machine parallelism).
 //!
 //! Quadratic baselines (Horner, Newton, classical xgcd) are skipped
 //! above `2^14` — their columns read `-` / `null` there — so the large
@@ -30,10 +38,14 @@
 //! `--min-log 4 --max-log 7 --samples 1 --hgcd-crossover 0`.
 
 use camelot_bench::{fault_every_16th, fmt_duration, random_message, Table};
-use camelot_ff::{ntt_prime, PrimeField, SplitMix64};
+use camelot_ff::{ntt_prime, thread_budget, PrimeField, RngLike, SplitMix64};
 use camelot_poly::{eval_many, interpolate, interpolate_fast, set_hgcd_crossover, vanishing_poly};
 use camelot_rscode::{DecodeProfile, RsCode};
 use std::time::{Duration, Instant};
+
+/// `log2` of the element count the kernel microbenchmarks run on: large
+/// enough to leave L1 yet small enough that a sample is sub-millisecond.
+const KERNEL_LOG: u32 = 16;
 
 /// Largest `log2(len)` at which the quadratic baselines (Horner encode,
 /// Newton interpolation, classical partial xgcd) still run; above this
@@ -134,15 +146,137 @@ fn erasure_positions(e: usize) -> Vec<usize> {
     (0..5).map(|k| k * e / 8 + 3).collect()
 }
 
+/// Million field elements per second for `len` elements processed in
+/// `best` wall time.
+fn melem_s(len: usize, best: Duration) -> f64 {
+    len as f64 / best.as_secs_f64().max(1e-12) / 1e6
+}
+
+/// Field-kernel microbenchmarks: per-element scalar loops vs the chunked
+/// slice kernels, on `2^KERNEL_LOG` in-field elements. Returns the
+/// `"kernels"` JSON object and prints a small table. All variants
+/// compute in place (field ops keep values in-field, and their cost is
+/// data-independent), so no per-sample reset pollutes the throughput.
+fn kernel_bench(field: &PrimeField, samples: usize, rng: &mut SplitMix64) -> String {
+    let len = 1usize << KERNEL_LOG;
+    let q = field.modulus();
+    // Nonzero inputs so batch inversion never hits the zero short-circuit.
+    let mut acc: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % (q - 1)).collect();
+    let b: Vec<u64> = (0..len).map(|_| 1 + rng.next_u64() % (q - 1)).collect();
+    let bs: Vec<u64> = b.iter().map(|&c| field.shoup_precompute(c)).collect();
+
+    // The textbook per-element reduction — `(a as u128 * b as u128) % q`
+    // via hardware 128-bit division — is the baseline the Barrett/Shoup
+    // kernels were built to displace (camelot-lint bans `%` from hot
+    // regions); the scalar columns below are the already-branchless
+    // `PrimeField::mul` / `mul_shoup` loops.
+    let t_mul_mod = best_of(samples, || {
+        for (a, &c) in acc.iter_mut().zip(&b) {
+            *a = ((u128::from(*a) * u128::from(c)) % u128::from(q)) as u64;
+        }
+    });
+    let t_mul_scalar = best_of(samples, || {
+        for (a, &c) in acc.iter_mut().zip(&b) {
+            *a = field.mul(*a, c);
+        }
+    });
+    let t_mul_slice = best_of(samples, || field.mul_slice(&mut acc, &b));
+    let t_shoup_scalar = best_of(samples, || {
+        for ((a, &c), &cs) in acc.iter_mut().zip(&b).zip(&bs) {
+            *a = field.mul_shoup(*a, c, cs);
+        }
+    });
+    let t_shoup_slice = best_of(samples, || field.mul_shoup_slice(&mut acc, &b, &bs));
+    // The Shoup kernel split across scoped threads under the process
+    // budget — the same decomposition the NTT butterfly passes use.
+    let workers = thread_budget().max(1);
+    let chunk = len.div_ceil(workers);
+    let t_shoup_threaded = best_of(samples, || {
+        if workers < 2 {
+            // A budget of one means no split anywhere in the stack —
+            // measure the kernel itself rather than spawn overhead.
+            field.mul_shoup_slice(&mut acc, &b, &bs);
+        } else {
+            std::thread::scope(|s| {
+                for ((a, c), cs) in acc.chunks_mut(chunk).zip(b.chunks(chunk)).zip(bs.chunks(chunk))
+                {
+                    s.spawn(move || field.mul_shoup_slice(a, c, cs));
+                }
+            });
+        }
+    });
+    let t_inv_batch = best_of(samples, || field.inv_batch(&mut acc));
+    let t_inv_blocked = best_of(samples, || field.inv_batch_blocked(&mut acc));
+
+    let mut table = Table::new(&["kernel (2^16 elems)", "baseline Me/s", "fast Me/s", "x"]);
+    let row = |t: &mut Table, name: &str, base: Duration, fast: Duration| {
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", melem_s(len, base)),
+            format!("{:.1}", melem_s(len, fast)),
+            format!("{:.2}", speedup(base, fast)),
+        ]);
+    };
+    row(&mut table, "mod loop -> mul_slice", t_mul_mod, t_mul_slice);
+    row(&mut table, "scalar mul -> mul_slice", t_mul_scalar, t_mul_slice);
+    row(&mut table, "mod loop -> mul_shoup_slice", t_mul_mod, t_shoup_slice);
+    row(&mut table, "scalar shoup -> mul_shoup_slice", t_shoup_scalar, t_shoup_slice);
+    row(
+        &mut table,
+        &format!("mul_shoup_slice x{workers} threads"),
+        t_shoup_scalar,
+        t_shoup_threaded,
+    );
+    row(&mut table, "inv_batch -> blocked", t_inv_batch, t_inv_blocked);
+    table.print("field slice kernels (vs textbook `%` loop and per-element scalar loops)");
+
+    format!(
+        concat!(
+            "  \"kernels\": {{\"elements\": {}, \"threads\": {},\n",
+            "    \"baseline_note\": \"mod_loop is the textbook (a*b) % q u128-division loop; ",
+            "scalar columns are per-element loops of the branchless Barrett/Shoup field ops\",\n",
+            "    \"mul\": {{\"mod_loop_melem_s\": {:.2}, \"scalar_melem_s\": {:.2}, ",
+            "\"slice_melem_s\": {:.2}, ",
+            "\"slice_speedup_vs_mod_loop\": {:.2}, \"slice_speedup_vs_scalar_mul\": {:.2}}},\n",
+            "    \"mul_shoup\": {{\"scalar_melem_s\": {:.2}, \"slice_melem_s\": {:.2}, ",
+            "\"threaded_melem_s\": {:.2}, ",
+            "\"slice_speedup_vs_mod_loop\": {:.2}, ",
+            "\"slice_speedup_vs_scalar_mul_shoup\": {:.2}, ",
+            "\"slice_speedup_vs_scalar_barrett_mul\": {:.2}}},\n",
+            "    \"inv\": {{\"batch_melem_s\": {:.2}, \"batch_blocked_melem_s\": {:.2}, ",
+            "\"blocked_speedup\": {:.2}}}}}"
+        ),
+        len,
+        workers,
+        melem_s(len, t_mul_mod),
+        melem_s(len, t_mul_scalar),
+        melem_s(len, t_mul_slice),
+        speedup(t_mul_mod, t_mul_slice),
+        speedup(t_mul_scalar, t_mul_slice),
+        melem_s(len, t_shoup_scalar),
+        melem_s(len, t_shoup_slice),
+        melem_s(len, t_shoup_threaded),
+        speedup(t_mul_mod, t_shoup_slice),
+        speedup(t_shoup_scalar, t_shoup_slice),
+        speedup(t_mul_scalar, t_shoup_slice),
+        melem_s(len, t_inv_batch),
+        melem_s(len, t_inv_blocked),
+        speedup(t_inv_batch, t_inv_blocked),
+    )
+}
+
 fn main() {
     let args = parse_args();
     if let Some(crossover) = args.hgcd_crossover {
         set_hgcd_crossover(crossover);
     }
+    let threads = thread_budget().max(1);
+    let kernel_field = PrimeField::new(ntt_prime(1 << 20, KERNEL_LOG + 1).0).unwrap();
+    let kernels = kernel_bench(&kernel_field, args.samples, &mut SplitMix64::new(0xCA_FE_F0_0D));
     let mut rows = Vec::new();
     let mut table = Table::new(&[
-        "len", "prime", "enc tree", "x", "enc NTT", "x", "int tree", "x", "dec tree", "dec NTT",
-        "~int", "~xgcd", "~reenc", "xgcd x",
+        "len", "prime", "thr", "enc tree", "x", "enc NTT", "x", "int tree", "x", "dec tree",
+        "dec NTT", "~int", "~xgcd", "~reenc", "xgcd x",
     ]);
 
     for log in args.min_log..=args.max_log {
@@ -227,6 +361,7 @@ fn main() {
         table.row(&[
             e.to_string(),
             q.to_string(),
+            threads.to_string(),
             fmt_duration(t_enc_tree),
             t_speedup(t_enc_naive, t_enc_tree),
             fmt_duration(t_enc_ntt),
@@ -242,7 +377,8 @@ fn main() {
         ]);
         rows.push(format!(
             concat!(
-                "    {{\"log2_len\": {}, \"len\": {}, \"prime\": {}, \"degree\": {},\n",
+                "    {{\"log2_len\": {}, \"len\": {}, \"prime\": {}, \"degree\": {}, ",
+                "\"threads\": {},\n",
                 "     \"consecutive\": {{",
                 "\"encode_horner_us\": {}, \"encode_tree_us\": {:.2}, ",
                 "\"encode_speedup\": {}, ",
@@ -263,6 +399,7 @@ fn main() {
             e,
             q,
             d,
+            threads,
             j_us(t_enc_naive),
             us(t_enc_tree),
             j_speedup(t_enc_naive, t_enc_tree),
@@ -292,18 +429,23 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"camelot-bench-algebra/v3\",\n",
-            "  \"description\": \"Reed-Solomon codeword pipeline: Horner/Newton/classical-xgcd ",
+            "  \"schema\": \"camelot-bench-algebra/v4\",\n",
+            "  \"description\": \"Field slice-kernel throughput (Melem/s, chunked vs per-element ",
+            "scalar loops) plus the Reed-Solomon codeword pipeline: Horner/Newton/classical-xgcd ",
             "baselines vs subproduct-tree, NTT, and half-GCD fast paths (message degree = len/2; ",
             "decode_us is the sum of its three phase columns; quadratic baselines are null above ",
-            "2^14)\",\n",
+            "2^14; threads is the CAMELOT_THREADS budget the NTT/decode paths ran under)\",\n",
             "  \"prime_schedule\": \"smallest q >= 2^20 with q = 1 mod 2^(log2_len+1)\",\n",
             "  \"samples\": {},\n",
+            "  \"threads\": {},\n",
             "  \"timer\": \"best-of-samples wall clock, release build\",\n",
+            "{},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         args.samples,
+        threads,
+        kernels,
         rows.join(",\n")
     );
     std::fs::write(&args.out, &json)

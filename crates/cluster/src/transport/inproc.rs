@@ -16,6 +16,7 @@ use crate::round::{
     assemble_round, compute_node_frames, node_slice, NodeFrames, RoundEval, RoundOutcome, RoundSpec,
 };
 use crate::transport::{apply_simulated_chaos, check_chaos, Transport, TransportError};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The in-process backend.
 #[derive(Clone, Debug, Default)]
@@ -66,35 +67,58 @@ impl Transport for InProcess {
         let e = spec.points.len();
         check_chaos(self.chaos.as_ref(), nodes)?;
         let frames: Vec<NodeFrames> = if self.parallel {
+            // Contiguous node groups, one scoped thread per group, capped
+            // by the process-wide budget (`CAMELOT_THREADS`) instead of
+            // one thread per node; concatenating group results in order
+            // reproduces the sequential frame order exactly.
+            let workers = camelot_ff::worker_count(nodes);
+            let group = nodes.div_ceil(workers.max(1)).max(1);
+            let node_ids: Vec<usize> = (0..nodes).collect();
+            // Each group records the node it is currently computing, so a
+            // panic still attributes to the exact node that failed.
+            let progress: Vec<AtomicUsize> = node_ids
+                .chunks(group)
+                .map(|g| AtomicUsize::new(g.first().copied().unwrap_or(0)))
+                .collect();
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..nodes)
-                    .map(|node| {
-                        let (lo, hi) = node_slice(e, nodes, node);
+                let handles: Vec<_> = node_ids
+                    .chunks(group)
+                    .zip(&progress)
+                    .map(|(g, marker)| {
                         scope.spawn(move || {
-                            compute_node_frames(
-                                spec.field,
-                                spec.plan.kind(node),
-                                nodes,
-                                node,
-                                lo,
-                                &spec.points[lo..hi],
-                                eval,
-                            )
+                            g.iter()
+                                .map(|&node| {
+                                    marker.store(node, Ordering::Relaxed);
+                                    let (lo, hi) = node_slice(e, nodes, node);
+                                    compute_node_frames(
+                                        spec.field,
+                                        spec.plan.kind(node),
+                                        nodes,
+                                        node,
+                                        lo,
+                                        &spec.points[lo..hi],
+                                        eval,
+                                    )
+                                })
+                                .collect::<Vec<NodeFrames>>()
                         })
                     })
                     .collect();
                 // A panicked node surfaces as a transport error instead of
                 // aborting the coordinator.
-                handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(node, h)| {
-                        h.join().map_err(|_| TransportError::WorkerFailed {
-                            node,
-                            reason: "node thread panicked".to_string(),
-                        })
-                    })
-                    .collect::<Result<Vec<NodeFrames>, TransportError>>()
+                let mut all = Vec::with_capacity(nodes);
+                for (h, marker) in handles.into_iter().zip(&progress) {
+                    match h.join() {
+                        Ok(group_frames) => all.extend(group_frames),
+                        Err(_) => {
+                            return Err(TransportError::WorkerFailed {
+                                node: marker.load(Ordering::Relaxed),
+                                reason: "node thread panicked".to_string(),
+                            })
+                        }
+                    }
+                }
+                Ok(all)
             })?
         } else {
             (0..nodes)

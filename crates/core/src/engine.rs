@@ -19,7 +19,7 @@ use camelot_cluster::{
     Backend, Broadcast, ChaosPlan, ClusterConfig, Demotion, EvalProgram, FaultPlan, RoundEval,
     RoundSpec, Transport, TransportTuning,
 };
-use camelot_ff::{ntt_prime, primes_above, PrimeField, SplitMix64};
+use camelot_ff::{ntt_prime, primes_above, worker_count, PrimeField, SplitMix64};
 use camelot_rscode::RsCode;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -770,7 +770,16 @@ impl Engine {
                         acc.report.demotions.push(*demotion);
                     }
                 }
-                let proof = self.decode_and_check(
+            }
+            // Per-problem lane decodes are independent (each touches only
+            // its own accumulator); split the batch into contiguous
+            // groups across scoped threads, capped by the unified
+            // `CAMELOT_THREADS` budget. Results are consumed in batch
+            // order, so the surfaced error (if any) is the one the
+            // sequential loop would have hit first.
+            let workers = worker_count(round.broadcasts.len());
+            let lane = |i: usize, broadcast, acc: &mut ProblemAcc| {
+                self.decode_and_check(
                     &code,
                     &field,
                     broadcast,
@@ -778,8 +787,47 @@ impl Engine {
                     &deciding,
                     evaluators[i].as_ref(),
                     acc,
-                )?;
-                acc.proofs.push(proof);
+                )
+            };
+            let proofs: Vec<Result<PrimeProof, CamelotError>> = if workers >= 2 {
+                let group = round.broadcasts.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = round
+                        .broadcasts
+                        .chunks(group)
+                        .zip(accs.chunks_mut(group))
+                        .enumerate()
+                        .map(|(g, (lanes, lane_accs))| {
+                            let lane = &lane;
+                            s.spawn(move || {
+                                lanes
+                                    .iter()
+                                    .zip(lane_accs.iter_mut())
+                                    .enumerate()
+                                    .map(|(off, (b, acc))| lane(g * group + off, b, acc))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| match h.join() {
+                            Ok(group_proofs) => group_proofs,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                })
+            } else {
+                round
+                    .broadcasts
+                    .iter()
+                    .zip(accs.iter_mut())
+                    .enumerate()
+                    .map(|(i, (b, acc))| lane(i, b, acc))
+                    .collect()
+            };
+            for (acc, proof) in accs.iter_mut().zip(proofs) {
+                acc.proofs.push(proof?);
             }
         }
 

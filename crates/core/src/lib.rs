@@ -44,3 +44,11 @@ pub use camelot_cluster::{
     Backend, ChaosEffect, ChaosPlan, Deadline, Demotion, EvalProgram, FailureCause, RetryPolicy,
     SocketTransport, Transport, TransportTuning, WorkerMode,
 };
+
+// The unified thread-count helper (one process-wide budget honoring
+// `CAMELOT_THREADS`): every layer that splits work across OS threads —
+// the parallel in-process transport, the engine's batched lane decodes,
+// the threaded NTT/tree passes in `camelot-poly` — derives its worker
+// count from this single source, re-exported here as the engine-facing
+// configuration surface.
+pub use camelot_ff::{set_thread_budget, thread_budget, worker_count};

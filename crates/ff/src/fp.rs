@@ -18,7 +18,7 @@ use crate::prime::is_prime_u64;
 
 /// High 128 bits of the 256-bit product `x * y`, by 64-bit limbs.
 #[inline]
-fn mulhi_u128(x: u128, y: u128) -> u128 {
+pub(crate) fn mulhi_u128(x: u128, y: u128) -> u128 {
     let (x0, x1) = (x & u128::from(u64::MAX), x >> 64);
     let (y0, y1) = (y & u128::from(u64::MAX), y >> 64);
     let lo = x0 * y0;
@@ -47,11 +47,11 @@ pub const MAX_MODULUS: u64 = 1 << 62;
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PrimeField {
-    q: u64,
+    pub(crate) q: u64,
     /// Barrett reciprocal `⌊(2^128 - 1) / q⌋` (equal to `⌊2^128 / q⌋` for
     /// every odd `q`; off by one for `q = 2`, absorbed by the correction
     /// loop in [`PrimeField::barrett_reduce`]).
-    barrett: u128,
+    pub(crate) barrett: u128,
 }
 
 /// Error returned by [`PrimeField::new`] for invalid moduli.

@@ -32,7 +32,9 @@
 
 mod crt;
 mod fp;
+mod kernel;
 mod prime;
+mod threads;
 mod ubig;
 
 pub use crt::{crt_i, crt_u, primes_needed, Residue};
@@ -40,5 +42,7 @@ pub use fp::{
     rand_like::{RngLike, SplitMix64},
     FieldError, PrimeField, MAX_MODULUS,
 };
+pub use kernel::LANES;
 pub use prime::{is_prime_u64, next_prime, ntt_prime, primes_above, primitive_root};
+pub use threads::{set_thread_budget, thread_budget, worker_count};
 pub use ubig::{IBig, UBig};

@@ -91,18 +91,38 @@ impl Mat22 {
 
     /// Folds one Euclidean step with quotient `q`: `self ← Q·self` with
     /// `Q = [[0, 1], [1, -q]]` — row swap plus one row update, cheaper
-    /// than a general product.
+    /// than a general product. The two `q`-products share `q`'s forward
+    /// transform (3 forwards + 2 inverses instead of 4 + 2) when the
+    /// spectral route applies.
     fn push_step(&mut self, ctx: &MulContext, q: &Poly) {
         let f = ctx.field();
         self.m.swap(0, 1);
-        let r10 = self.m[1][0].sub(f, &ctx.mul(q, &self.m[0][0]));
-        let r11 = self.m[1][1].sub(f, &ctx.mul(q, &self.m[0][1]));
+        let lens = [q.coeffs().len(), self.m[0][0].coeffs().len(), self.m[0][1].coeffs().len()];
+        let out = (lens[0] + lens[1]).max(lens[0] + lens[2]).saturating_sub(1);
+        let (q0, q1) = match ctx.shared_plan(&lens, out) {
+            Some(k) => {
+                let sq = ctx.spectrum(q, k);
+                let s0 = ctx.spectrum(&self.m[0][0], k);
+                let s1 = ctx.spectrum(&self.m[0][1], k);
+                (
+                    ctx.spectral_mul_add(&sq, &s0, None, out),
+                    ctx.spectral_mul_add(&sq, &s1, None, out),
+                )
+            }
+            None => (ctx.mul(q, &self.m[0][0]), ctx.mul(q, &self.m[0][1])),
+        };
+        let r10 = self.m[1][0].sub(f, &q0);
+        let r11 = self.m[1][1].sub(f, &q1);
         self.m[1] = [r10, r11];
         self.steps += 1;
     }
 
     /// `later · earlier` (the matrix applied second multiplies from the
-    /// left).
+    /// left). Each of the eight entry polynomials is forward-transformed
+    /// once and reused across the two products it appears in (8 forwards
+    /// plus 4 inverses instead of 16 + 8 plus four add passes) when the
+    /// spectral route applies; the fallback formula and the shared route
+    /// produce bit-identical entries (exact arithmetic mod `q`).
     fn compose(ctx: &MulContext, later: &Mat22, earlier: &Mat22) -> Mat22 {
         if earlier.steps == 0 {
             return later.clone();
@@ -111,14 +131,31 @@ impl Mat22 {
             return earlier.clone();
         }
         let f = ctx.field();
-        let entry = |i: usize, j: usize| {
-            ctx.mul(&later.m[i][0], &earlier.m[0][j])
-                .add(f, &ctx.mul(&later.m[i][1], &earlier.m[1][j]))
+        let lens: Vec<usize> =
+            later.m.iter().chain(earlier.m.iter()).flatten().map(|p| p.coeffs().len()).collect();
+        let pair_out = |a: usize, b: usize| (lens[a] + lens[4 + b]).saturating_sub(1);
+        let out = (0..2)
+            .flat_map(|i| (0..2).map(move |j| pair_out(2 * i, j).max(pair_out(2 * i + 1, 2 + j))))
+            .max()
+            .unwrap_or(0);
+        let m = match ctx.shared_plan(&lens, out) {
+            Some(k) => {
+                let sl = later.m.each_ref().map(|row| row.each_ref().map(|p| ctx.spectrum(p, k)));
+                let se = earlier.m.each_ref().map(|row| row.each_ref().map(|p| ctx.spectrum(p, k)));
+                let entry = |i: usize, j: usize| {
+                    ctx.spectral_mul_add(&sl[i][0], &se[0][j], Some((&sl[i][1], &se[1][j])), out)
+                };
+                [[entry(0, 0), entry(0, 1)], [entry(1, 0), entry(1, 1)]]
+            }
+            None => {
+                let entry = |i: usize, j: usize| {
+                    ctx.mul(&later.m[i][0], &earlier.m[0][j])
+                        .add(f, &ctx.mul(&later.m[i][1], &earlier.m[1][j]))
+                };
+                [[entry(0, 0), entry(0, 1)], [entry(1, 0), entry(1, 1)]]
+            }
         };
-        Mat22 {
-            m: [[entry(0, 0), entry(0, 1)], [entry(1, 0), entry(1, 1)]],
-            steps: later.steps + earlier.steps,
-        }
+        Mat22 { m, steps: later.steps + earlier.steps }
     }
 }
 
@@ -152,8 +189,36 @@ fn reconstruct_verified(
     let f = ctx.field();
     let low0 = s0.truncated(l);
     let low1 = s1.truncated(l);
-    let a2 = ctx.mul(&rm.m[0][0], &low0).add(f, &ctx.mul(&rm.m[0][1], &low1)).add(f, &th.shift(l));
-    let b2 = ctx.mul(&rm.m[1][0], &low0).add(f, &ctx.mul(&rm.m[1][1], &low1)).add(f, &tl.shift(l));
+    // The two matrix-vector rows share the forward transforms of the
+    // vector (and each matrix entry transforms once): 6 forwards + 2
+    // inverses instead of 8 + 4 when the spectral route applies.
+    let lens = [
+        rm.m[0][0].coeffs().len(),
+        rm.m[0][1].coeffs().len(),
+        rm.m[1][0].coeffs().len(),
+        rm.m[1][1].coeffs().len(),
+        low0.coeffs().len(),
+        low1.coeffs().len(),
+    ];
+    let out = (0..4).map(|e| lens[e] + lens[4 + (e & 1)]).max().unwrap_or(1).saturating_sub(1);
+    let (ra, rb) = match ctx.shared_plan(&lens, out) {
+        Some(k) => {
+            let v0 = ctx.spectrum(&low0, k);
+            let v1 = ctx.spectrum(&low1, k);
+            let row = |i: usize| {
+                let m0 = ctx.spectrum(&rm.m[i][0], k);
+                let m1 = ctx.spectrum(&rm.m[i][1], k);
+                ctx.spectral_mul_add(&m0, &v0, Some((&m1, &v1)), out)
+            };
+            (row(0), row(1))
+        }
+        None => (
+            ctx.mul(&rm.m[0][0], &low0).add(f, &ctx.mul(&rm.m[0][1], &low1)),
+            ctx.mul(&rm.m[1][0], &low0).add(f, &ctx.mul(&rm.m[1][1], &low1)),
+        ),
+    };
+    let a2 = ra.add(f, &th.shift(l));
+    let b2 = rb.add(f, &tl.shift(l));
     let da = a2.degree()?;
     if da < target || da > d1 || b2.degree().is_some_and(|db| db >= da) {
         return None;

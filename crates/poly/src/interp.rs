@@ -31,7 +31,7 @@ pub fn interpolate(field: &PrimeField, points: &[(u64, u64)]) -> Poly {
     for level in 1..n {
         let mut inv_dx: Vec<u64> = (level..n).map(|i| field.sub(xs[i], xs[i - level])).collect();
         assert!(inv_dx.iter().all(|&dx| dx != 0), "interpolation points must be distinct (mod q)");
-        field.inv_batch(&mut inv_dx);
+        field.inv_batch_blocked(&mut inv_dx);
         for i in (level..n).rev() {
             coef[i] = field.mul(field.sub(coef[i], coef[i - 1]), inv_dx[i - level]);
         }
@@ -98,7 +98,7 @@ pub fn lagrange_basis_at(field: &PrimeField, r_count: usize, x0: u64) -> Vec<u64
     // Batch-invert denominators and factorials together.
     let mut to_invert = diffs.clone();
     to_invert.extend_from_slice(&fact);
-    field.inv_batch(&mut to_invert);
+    field.inv_batch_blocked(&mut to_invert);
     let (inv_diffs, inv_fact) = to_invert.split_at(r_count);
     diffs.clear();
     let mut out = Vec::with_capacity(r_count);

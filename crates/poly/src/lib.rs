@@ -34,6 +34,7 @@ mod hgcd;
 mod interp;
 mod multipoint;
 mod ntt;
+mod par;
 
 pub use dense::Poly;
 pub use hgcd::{hgcd_crossover, partial_xgcd_fast, partial_xgcd_structured, set_hgcd_crossover};
@@ -43,3 +44,4 @@ pub use multipoint::{
     TREE_CACHE_CROSSOVER,
 };
 pub use ntt::NttPlan;
+pub use par::{par_crossover, set_par_crossover};

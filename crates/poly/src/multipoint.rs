@@ -21,6 +21,7 @@
 use crate::dense::Poly;
 use crate::interp::{eval_many, interpolate};
 use crate::ntt::NttPlan;
+use crate::par::{join2, plan_workers};
 use camelot_ff::PrimeField;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -171,10 +172,187 @@ impl MulContext {
         }
         a.mul(&self.field, b)
     }
+
+    /// Index of the plan covering `out_len`-coefficient products, when
+    /// the modulus supports a transform that long.
+    pub(crate) fn spectral_plan(&self, out_len: usize) -> Option<usize> {
+        let k = ceil_log2(out_len.max(1)) as usize;
+        if self.plans.get(k).is_some() {
+            Some(k)
+        } else {
+            None
+        }
+    }
+
+    /// Forward-transforms `p` under plan `k`. The returned [`Spectrum`]
+    /// is the transform-sharing currency: a polynomial transformed once
+    /// multiplies pointwise against every partner spectrum, so a matrix
+    /// product pays one forward per distinct entry instead of one per
+    /// product it appears in.
+    pub(crate) fn spectrum(&self, p: &Poly, k: usize) -> Spectrum {
+        let plan = &self.plans[k];
+        let mut data = p.coeffs().to_vec();
+        data.resize(plan.len(), 0);
+        plan.forward_lazy_rev(&mut data);
+        Spectrum { k, data }
+    }
+
+    /// `a·b` (plus `c·d` when given) back in the coefficient domain,
+    /// truncated to `out_len` coefficients: one pointwise pass per
+    /// product and a single inverse transform, against two full
+    /// multiplies and an add pass. All spectra must come from plan `a.k`
+    /// and both products must fit `out_len`.
+    pub(crate) fn spectral_mul_add(
+        &self,
+        a: &Spectrum,
+        b: &Spectrum,
+        cd: Option<(&Spectrum, &Spectrum)>,
+        out_len: usize,
+    ) -> Poly {
+        let plan = &self.plans[a.k];
+        debug_assert!(out_len <= plan.len(), "product exceeds the shared transform length");
+        let mut acc = a.data.clone();
+        self.field.mul_slice(&mut acc, &b.data);
+        if let Some((c, d)) = cd {
+            debug_assert!(a.k == b.k && a.k == c.k && a.k == d.k, "mixed-plan spectra");
+            self.field.mul_add_slice(&mut acc, &c.data, &d.data);
+        }
+        plan.inverse_from_rev(&mut acc);
+        acc.truncate(out_len);
+        Poly::from_reduced(acc)
+    }
+
+    /// Plan index for transform-sharing a family of products: engages
+    /// only when *every* operand clears the NTT threshold (short
+    /// operands multiply faster classically) and a plan covers the
+    /// longest product. `None` means the caller should fall back to its
+    /// [`MulContext::mul`]-based formula.
+    pub(crate) fn shared_plan(&self, operand_lens: &[usize], out_len: usize) -> Option<usize> {
+        if operand_lens.iter().all(|&l| l >= NTT_MUL_THRESHOLD) {
+            self.spectral_plan(out_len)
+        } else {
+            None
+        }
+    }
+
+    /// `a·b + c·d` with shared transforms (4 forwards + 1 inverse
+    /// instead of 4 + 2 and an add pass) when the spectral route
+    /// applies, falling back to two [`MulContext::mul`]s otherwise.
+    /// Bit-identical either way: the arithmetic is exact mod `q`.
+    pub(crate) fn mul2_add(&self, a: &Poly, b: &Poly, c: &Poly, d: &Poly) -> Poly {
+        let lens = [a, b, c, d].map(|p| p.coeffs().len());
+        let out_len = (lens[0] + lens[1]).max(lens[2] + lens[3]).saturating_sub(1);
+        if let Some(k) = self.shared_plan(&lens, out_len) {
+            let (sa, sb) = (self.spectrum(a, k), self.spectrum(b, k));
+            let (sc, sd) = (self.spectrum(c, k), self.spectrum(d, k));
+            return self.spectral_mul_add(&sa, &sb, Some((&sc, &sd)), out_len);
+        }
+        self.mul(a, b).add(&self.field, &self.mul(c, d))
+    }
 }
 
-/// Power-series inverse of `f` modulo `x^n` by Newton iteration
-/// (`g ← g(2 - fg)`, doubling precision each step).
+/// The frequency-domain image of a polynomial under the plan of index
+/// `k` in a [`MulContext`]: `forward_lazy_rev` output — bit-reversed
+/// order, lazy `[0, 2q)` values — consumable by the order-agnostic
+/// pointwise slice kernels.
+pub(crate) struct Spectrum {
+    k: usize,
+    data: Vec<u64>,
+}
+
+/// Maximum number of wrapped-around coefficients [`low_product`]
+/// corrects by direct convolution; past this the next transform size is
+/// cheaper than the scalar correction.
+const WRAP_CORRECT_MAX: usize = 64;
+
+/// The low `m` coefficients of `a·b` — `mul(a, b).truncated(m)` — with
+/// one transform-size reduction where it matters: when the full product
+/// length only *just* exceeds the power of two covering the operands
+/// (the systematic shape in Newton division, where operand lengths sit a
+/// few coefficients past `2^k`), the plain product pays for a `2^(k+1)`
+/// transform to carry a handful of top coefficients. Instead, multiply
+/// cyclically at `2^k` and repair the few low coefficients polluted by
+/// the wrap-around with a direct `O(wrapped²)` convolution of the
+/// operand tops. Bit-identical to the plain truncated product (exact
+/// arithmetic mod `q`; the true coefficients are unique).
+fn low_product(ctx: &MulContext, a: &Poly, b: &Poly, m: usize) -> Poly {
+    let (alen, blen) = (a.coeffs().len(), b.coeffs().len());
+    if alen == 0 || blen == 0 {
+        return Poly::zero();
+    }
+    let full = alen + blen - 1;
+    let n = alen.max(blen).max(m).next_power_of_two();
+    let wrapped = full.saturating_sub(n);
+    if wrapped == 0 || wrapped > WRAP_CORRECT_MAX || alen.min(blen) < NTT_MUL_THRESHOLD {
+        return ctx.mul(a, b).truncated(m);
+    }
+    let Some(k) = ctx.spectral_plan(n) else {
+        return ctx.mul(a, b).truncated(m);
+    };
+    let sa = ctx.spectrum(a, k);
+    let sb = ctx.spectrum(b, k);
+    let mut w = ctx.spectral_mul_add(&sa, &sb, None, n).into_coeffs();
+    w.resize(n, 0);
+    // Coefficient `n + j` of the true product wrapped onto `w[j]`;
+    // recompute it directly from the operand tops and subtract.
+    let f = ctx.field();
+    let (ac, bc) = (a.coeffs(), b.coeffs());
+    for (j, wj) in w.iter_mut().enumerate().take(wrapped) {
+        let cj = n + j;
+        let lo = cj + 1 - blen;
+        let hi = alen - 1;
+        let mut s = 0u64;
+        for i in lo..=hi {
+            s = f.mul_add(s, ac[i], bc[cj - i]);
+        }
+        *wj = f.sub(*wj, s);
+    }
+    w.truncate(m);
+    Poly::from_reduced(w)
+}
+
+/// `a - q·b` when the difference is known to have degree below `db` —
+/// the remainder of an exact Euclidean division. The product is needed
+/// only modulo `x^N - 1` for any `N > deg r`, so fold `q`, `b`, and `a`
+/// into the smallest transform covering `db` and multiply cyclically —
+/// typically a quarter of the full linear product's transform work.
+/// `None` when the cyclic route does not apply (short operands, no
+/// plan); bit-identical to the linear formula otherwise (the remainder
+/// is unique and its degree bound is a theorem, not a guess).
+fn cyclic_remainder(ctx: &MulContext, a: &Poly, q: &Poly, b: &Poly, db: usize) -> Option<Poly> {
+    let n = db.max(1).next_power_of_two();
+    if q.coeffs().len().min(b.coeffs().len()) < NTT_MUL_THRESHOLD {
+        return None;
+    }
+    // Only profitable when the fold actually shrinks the transform.
+    if n >= (q.coeffs().len() + b.coeffs().len() - 1).next_power_of_two() {
+        return None;
+    }
+    let k = ctx.spectral_plan(n)?;
+    let field = ctx.field();
+    let fold = |p: &Poly| {
+        let mut out = vec![0u64; n];
+        for (i, &c) in p.coeffs().iter().enumerate() {
+            let slot = i % n;
+            out[slot] = field.add(out[slot], c);
+        }
+        Poly::from_reduced(out)
+    };
+    let sq = ctx.spectrum(&fold(q), k);
+    let sb = ctx.spectrum(&fold(b), k);
+    let qb = ctx.spectral_mul_add(&sq, &sb, None, n);
+    Some(fold(a).sub(field, &qb))
+}
+
+/// Power-series inverse of `f` modulo `x^n` by Newton iteration with
+/// the middle-product refinement: since `g` entering a step *is* the
+/// unique inverse mod `x^p`, the product `f·g mod x^k` is `1` in its
+/// low `p` coefficients, so `g·(2 − fg) mod x^k` collapses to
+/// `g − x^p·(g·e mod x^{k−p})` with `e` the coefficients `[p, k)` of
+/// `f·g` — two products at half the naive step's operand sizes, both
+/// routed through [`low_product`] (transform-size-exact, shared cached
+/// plans). Bit-identical to the textbook step: the inverse series mod
+/// `x^k` is unique.
 ///
 /// `f.coeff(0)` must be invertible (nonzero).
 fn inv_series(ctx: &MulContext, f: &Poly, n: usize) -> Poly {
@@ -182,10 +360,25 @@ fn inv_series(ctx: &MulContext, f: &Poly, n: usize) -> Poly {
     let mut g = Poly::constant(field.inv(f.coeff(0)));
     let mut k = 1usize;
     while k < n {
+        let p = k;
         k = (2 * k).min(n);
-        let fg = ctx.mul(&f.truncated(k), &g).truncated(k);
-        let correction = Poly::constant(field.reduce(2)).sub(field, &fg);
-        g = ctx.mul(&g, &correction).truncated(k);
+        let f_k = f.truncated(k);
+        let fg = low_product(ctx, &f_k, &g, k);
+        let fgc = fg.coeffs();
+        debug_assert!(
+            fgc.first().is_none_or(|&c| c == 1) && fgc.iter().take(p).skip(1).all(|&c| c == 0),
+            "Newton invariant violated: f·g must be 1 mod x^p"
+        );
+        let e = Poly::from_reduced(fgc.iter().skip(p).copied().collect());
+        if e.is_zero() {
+            // g is already exact to the higher precision.
+            continue;
+        }
+        let delta = low_product(ctx, &g, &e, k - p);
+        let mut coeffs = g.coeffs().to_vec();
+        coeffs.resize(p, 0);
+        coeffs.extend(delta.coeffs().iter().map(|&c| field.neg(c)));
+        g = Poly::from_reduced(coeffs);
     }
     g
 }
@@ -213,8 +406,11 @@ pub(crate) fn div_rem_ctx(ctx: &MulContext, a: &Poly, b: &Poly) -> (Poly, Poly) 
     // reversal of rev(a) · rev(b)^{-1}.
     let inv_rb = inv_series(ctx, &b.reversed(db + 1), n_q);
     let ra = a.reversed(da + 1).truncated(n_q);
-    let q = ctx.mul(&ra, &inv_rb).truncated(n_q).reversed(n_q);
-    let r = a.sub(&ctx.field, &ctx.mul(&q, b));
+    let q = low_product(ctx, &ra, &inv_rb, n_q).reversed(n_q);
+    // r = a - q·b has degree < db, so the product is needed only modulo
+    // x^N - 1 for the smallest transform N covering db.
+    let r =
+        cyclic_remainder(ctx, a, &q, b, db).unwrap_or_else(|| a.sub(&ctx.field, &ctx.mul(&q, b)));
     debug_assert!(r.degree().is_none_or(|dr| dr < db), "fast division remainder too large");
     (q, r)
 }
@@ -284,13 +480,40 @@ impl SubproductTree {
                 g
             })
             .collect();
+        let workers = plan_workers(points.len());
         let mut levels = vec![leaves];
         while levels.last().expect("nonempty tree").len() > 1 {
             let prev = levels.last().expect("nonempty tree");
-            let next = prev
-                .chunks(2)
-                .map(|pair| if let [l, r] = pair { ctx.mul(l, r) } else { pair[0].clone() })
-                .collect();
+            let pairs: Vec<&[Poly]> = prev.chunks(2).collect();
+            let product = |pair: &[Poly]| {
+                if let [l, r] = pair {
+                    ctx.mul(l, r)
+                } else {
+                    pair[0].clone()
+                }
+            };
+            // Pair products within a level are independent; split them
+            // into contiguous groups across scoped threads, one group
+            // per worker, and re-concatenate in order — the level is
+            // position-for-position what the sequential build produces.
+            let next: Vec<Poly> = if workers >= 2 && pairs.len() >= 2 * workers {
+                let group = pairs.len().div_ceil(workers);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = pairs
+                        .chunks(group)
+                        .map(|g| s.spawn(move || g.iter().map(|p| product(p)).collect::<Vec<_>>()))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| match h.join() {
+                            Ok(v) => v,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                })
+            } else {
+                pairs.iter().map(|p| product(p)).collect()
+            };
             levels.push(next);
         }
         SubproductTree { points: points.to_vec(), leaf_starts, levels }
@@ -587,9 +810,7 @@ impl PointTree {
         } else {
             poly.clone()
         };
-        let mut out = Vec::with_capacity(n);
-        self.eval_down(&rem, self.tree.top_level(), 0, &mut out);
-        out
+        self.eval_down_collect(&rem, self.tree.top_level(), 0, plan_workers(n))
     }
 
     /// Tree interpolation without crossover dispatch.
@@ -598,7 +819,7 @@ impl PointTree {
         let weights = self.lagrange_weights();
         let c: Vec<u64> =
             values.iter().zip(weights).map(|(&y, &w)| field.mul(field.reduce(y), w)).collect();
-        self.combine_up(&c, self.tree.top_level(), 0)
+        self.combine_up_par(&c, self.tree.top_level(), 0, plan_workers(self.len()))
     }
 
     /// `1 / M'(x_i)` per point, computed once per tree.
@@ -612,13 +833,17 @@ impl PointTree {
             // M' has degree n - 1 < n, so it is already reduced modulo
             // the root and descends directly.
             let m_prime = self.tree.root().derivative(field);
-            let mut weights = Vec::with_capacity(self.len());
-            self.eval_down(&m_prime, self.tree.top_level(), 0, &mut weights);
+            let mut weights = self.eval_down_collect(
+                &m_prime,
+                self.tree.top_level(),
+                0,
+                plan_workers(self.len()),
+            );
             assert!(
                 weights.iter().all(|&w| w != 0),
                 "interpolation points must be distinct (mod q)"
             );
-            field.inv_batch(&mut weights);
+            field.inv_batch_blocked(&mut weights);
             weights
         })
     }
@@ -668,8 +893,9 @@ impl PointTree {
         }
         let inv_rb = self.node_inv(level, idx).truncated(n_q);
         let ra = a.reversed(da + 1).truncated(n_q);
-        let q = self.ctx.mul(&ra, &inv_rb).truncated(n_q).reversed(n_q);
-        let r = a.sub(&self.ctx.field, &self.ctx.mul(&q, b));
+        let q = low_product(&self.ctx, &ra, &inv_rb, n_q).reversed(n_q);
+        let r = cyclic_remainder(&self.ctx, a, &q, b, db)
+            .unwrap_or_else(|| a.sub(&self.ctx.field, &self.ctx.mul(&q, b)));
         debug_assert!(r.degree().is_none_or(|dr| dr < db), "cached division remainder too large");
         (q, r)
     }
@@ -696,6 +922,36 @@ impl PointTree {
         self.eval_down(&rr, child, ri, out);
     }
 
+    /// [`Self::eval_down`] with budget-halving scoped-thread splitting:
+    /// the two child descents run on separate threads while the budget
+    /// and the points below the node stay above the parallel gates. The
+    /// left results are concatenated before the right, so output order —
+    /// and every value, the arithmetic being identical — matches the
+    /// sequential descent exactly.
+    fn eval_down_collect(&self, rem: &Poly, level: usize, idx: usize, budget: usize) -> Vec<u64> {
+        let count = self.tree.count_points(level, idx);
+        if level == 0 || budget < 2 || count < crate::par::par_crossover().max(2) {
+            let mut out = Vec::with_capacity(count);
+            self.eval_down(rem, level, idx, &mut out);
+            return out;
+        }
+        let child = level - 1;
+        let (li, ri) = (2 * idx, 2 * idx + 1);
+        if ri >= self.tree.levels[child].len() {
+            return self.eval_down_collect(rem, child, li, budget);
+        }
+        let (_, rl) = self.div_rem_node(rem, child, li);
+        let (_, rr) = self.div_rem_node(rem, child, ri);
+        let (lb, rb) = (budget - budget / 2, budget / 2);
+        let (mut left, right) = join2(
+            true,
+            || self.eval_down_collect(&rl, child, li, lb),
+            || self.eval_down_collect(&rr, child, ri, rb),
+        );
+        left.extend_from_slice(&right);
+        left
+    }
+
     /// The linear combination `Σ_i c_i · Π_{j≠i} (x - x_j)` over the
     /// points below node `(level, idx)`, where `c` covers exactly those
     /// points — the combination step of fast Lagrange interpolation.
@@ -718,9 +974,31 @@ impl PointTree {
         let (cl, cr) = c.split_at(self.tree.count_points(child, li));
         let left = self.combine_up(cl, child, li);
         let right = self.combine_up(cr, child, ri);
-        self.ctx
-            .mul(&left, &self.tree.levels[child][ri])
-            .add(field, &self.ctx.mul(&right, &self.tree.levels[child][li]))
+        self.ctx.mul2_add(&left, &self.tree.levels[child][ri], &right, &self.tree.levels[child][li])
+    }
+
+    /// [`Self::combine_up`] with budget-halving scoped-thread splitting,
+    /// mirroring [`Self::eval_down_collect`]; the cross product at each
+    /// joined node runs through the transform-shared
+    /// [`MulContext::mul2_add`], exactly as the sequential combine does.
+    fn combine_up_par(&self, c: &[u64], level: usize, idx: usize, budget: usize) -> Poly {
+        let count = self.tree.count_points(level, idx);
+        if level == 0 || budget < 2 || count < crate::par::par_crossover().max(2) {
+            return self.combine_up(c, level, idx);
+        }
+        let child = level - 1;
+        let (li, ri) = (2 * idx, 2 * idx + 1);
+        if ri >= self.tree.levels[child].len() {
+            return self.combine_up_par(c, child, li, budget);
+        }
+        let (cl, cr) = c.split_at(self.tree.count_points(child, li));
+        let (lb, rb) = (budget - budget / 2, budget / 2);
+        let (left, right) = join2(
+            true,
+            || self.combine_up_par(cl, child, li, lb),
+            || self.combine_up_par(cr, child, ri, rb),
+        );
+        self.ctx.mul2_add(&left, &self.tree.levels[child][ri], &right, &self.tree.levels[child][li])
     }
 }
 
@@ -876,6 +1154,37 @@ mod tests {
                 assert_eq!(qf, qc, "quotient for degrees {da}/{db}");
                 assert_eq!(rf, rc, "remainder for degrees {da}/{db}");
             }
+        }
+    }
+
+    /// Division shapes whose operand lengths straddle powers of two —
+    /// the regime where [`low_product`] multiplies cyclically and
+    /// repairs the wrapped coefficients, and [`cyclic_remainder`] folds
+    /// the remainder product into a smaller transform (the Gao decode
+    /// division `g / v` has exactly this shape). Exact divisions pin the
+    /// `r = 0` path the decoder relies on.
+    #[test]
+    fn fast_division_matches_classical_at_power_of_two_boundaries() {
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(24);
+        let ctx = MulContext::new(&field, 1 << 12);
+        for (da, db) in [
+            (769usize, 256usize), // n_q = 514: wrapped quotient product
+            (768, 256),           // n_q = 513: single wrapped coefficient
+            (1023, 255),          // no wrap, cyclic remainder at 256
+            (1025, 513),          // both lengths just past a power of two
+            (511, 257),           // quotient shorter than the divisor
+        ] {
+            let a = random_poly(&field, da, &mut rng);
+            let b = random_poly(&field, db, &mut rng);
+            let (qf, rf) = div_rem_ctx(&ctx, &a, &b);
+            let (qc, rc) = a.div_rem(&field, &b);
+            assert_eq!((qf, rf), (qc, rc), "degrees {da}/{db}");
+            // Exact division: the remainder must come out identically zero.
+            let exact = ctx.mul(&b, &random_poly(&field, da - db, &mut rng));
+            let (qe, re) = div_rem_ctx(&ctx, &exact, &b);
+            assert!(re.is_zero(), "exact division left a remainder at {da}/{db}");
+            assert_eq!(ctx.mul(&qe, &b), exact, "exact quotient reconstructs the dividend");
         }
     }
 
@@ -1188,5 +1497,76 @@ mod tests {
     fn vanishing_poly_of_empty_set_is_one() {
         let field = ntt_field();
         assert_eq!(vanishing_poly(&field, &[]), Poly::constant(1));
+    }
+
+    /// `mul2_add` must equal the two-products-plus-add formula on both
+    /// sides of its spectral gate (short operands fall back, long ones
+    /// share transforms) and for degenerate operands.
+    #[test]
+    fn mul2_add_matches_separate_products() {
+        for field in [ntt_field(), plain_field()] {
+            let mut rng = SplitMix64::new(36);
+            let ctx = MulContext::new(&field, 1 << 11);
+            let shapes = [
+                (3usize, 5usize, 4usize, 2usize), // all short: fallback
+                (100, 90, 80, 110),               // all long: spectral
+                (200, 3, 150, 160),               // mixed: fallback
+                (0, 90, 80, 110),                 // zero operand
+            ];
+            for (da, db, dc, dd) in shapes {
+                let p = |d: usize, rng: &mut SplitMix64| {
+                    if d == 0 {
+                        Poly::zero()
+                    } else {
+                        random_poly(&field, d, rng)
+                    }
+                };
+                let (a, b) = (p(da, &mut rng), p(db, &mut rng));
+                let (c, d) = (p(dc, &mut rng), p(dd, &mut rng));
+                let expect = ctx.mul(&a, &b).add(&field, &ctx.mul(&c, &d));
+                assert_eq!(
+                    ctx.mul2_add(&a, &b, &c, &d),
+                    expect,
+                    "shape {da}/{db}/{dc}/{dd}, q = {}",
+                    field.modulus()
+                );
+            }
+        }
+    }
+
+    /// Forced-parallel tree build, evaluation, and interpolation must be
+    /// bit-identical to the sequential paths (`CAMELOT_PAR_CROSSOVER=0`
+    /// regression: every split gate opens, with a thread budget larger
+    /// than the machine's).
+    #[test]
+    fn forced_parallel_tree_matches_sequential() {
+        use camelot_ff::{set_thread_budget, thread_budget};
+        let field = ntt_field();
+        let mut rng = SplitMix64::new(37);
+        let n = 400;
+        let xs = distinct_points(&field, n, &mut rng);
+        let poly = random_poly(&field, n - 1, &mut rng);
+        let ys: Vec<u64> = (0..n).map(|_| field.sample(&mut rng)).collect();
+
+        let _guard = crate::par::test_knob_guard();
+        let saved_budget = thread_budget();
+        let saved_crossover = crate::par_crossover();
+        set_thread_budget(1);
+        crate::set_par_crossover(usize::MAX);
+        let tree_seq = PointTree::new(&field, &xs);
+        let ev_seq = tree_seq.eval_core(&poly);
+        let ip_seq = tree_seq.interpolate_core(&ys);
+
+        set_thread_budget(4);
+        crate::set_par_crossover(0);
+        let tree_par = PointTree::new(&field, &xs);
+        assert_eq!(tree_par.vanishing(), tree_seq.vanishing(), "parallel build diverged");
+        assert_eq!(tree_par.eval_core(&poly), ev_seq, "parallel eval diverged");
+        assert_eq!(tree_par.interpolate_core(&ys), ip_seq, "parallel interpolate diverged");
+        // The warm-cache repeat must agree too.
+        assert_eq!(tree_par.interpolate_core(&ys), ip_seq, "warm parallel interpolate diverged");
+
+        set_thread_budget(saved_budget);
+        crate::set_par_crossover(saved_crossover);
     }
 }

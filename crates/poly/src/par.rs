@@ -1,0 +1,112 @@
+//! Scoped-thread splitting for the data-parallel algebra passes.
+//!
+//! The NTT butterfly rounds and the subproduct-tree descents are
+//! embarrassingly parallel above a certain size; below it, thread spawn
+//! and join overhead swamps the win. This module holds the process-wide
+//! crossover (the work size — transform length or points under a tree
+//! node — at which splitting engages) and the scoped-thread `join2`
+//! primitive the recursive passes use. The worker count itself comes from
+//! the unified [`camelot_ff::thread_budget`], so `CAMELOT_THREADS`
+//! governs every layer at once; `CAMELOT_PAR_CROSSOVER` tunes only the
+//! engagement size (`0` forces the parallel code paths everywhere — the
+//! CI regression configuration).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default work size (transform length / points under a node) at which
+/// the scoped-thread splitter engages. Fitted on `bench_algebra`: one
+/// `std::thread::scope` spawn-join cycle costs tens of microseconds,
+/// which a 2^15-length butterfly round amortizes comfortably while a
+/// 2^12 round does not.
+const PAR_DEFAULT_CROSSOVER: usize = 1 << 15;
+
+fn crossover_cell() -> &'static AtomicUsize {
+    static CELL: OnceLock<AtomicUsize> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let from_env = std::env::var("CAMELOT_PAR_CROSSOVER").ok().and_then(|v| v.parse().ok());
+        AtomicUsize::new(from_env.unwrap_or(PAR_DEFAULT_CROSSOVER))
+    })
+}
+
+/// Work size at which the parallel NTT/tree passes engage. Initialized
+/// from the `CAMELOT_PAR_CROSSOVER` environment variable when set (`0`
+/// forces the parallel paths for every input).
+#[must_use]
+pub fn par_crossover() -> usize {
+    crossover_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the parallel crossover process-wide (benchmark crossover
+/// fitting and the CI forced-parallel smoke run).
+pub fn set_par_crossover(len: usize) {
+    crossover_cell().store(len, Ordering::Relaxed)
+}
+
+/// Worker count for a pass over `work` units: the full thread budget
+/// once `work` reaches the crossover, and 1 (sequential) below it.
+pub(crate) fn plan_workers(work: usize) -> usize {
+    if work >= par_crossover() {
+        camelot_ff::thread_budget()
+    } else {
+        1
+    }
+}
+
+/// Runs `f` and `g`, on two scoped threads when `parallel` is set (the
+/// second closure runs on the spawned thread; a panic there propagates
+/// to the caller when the scope closes).
+pub(crate) fn join2<A, B>(
+    parallel: bool,
+    f: impl FnOnce() -> A + Send,
+    g: impl FnOnce() -> B + Send,
+) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    if !parallel {
+        return (f(), g());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(g);
+        let a = f();
+        let b = match handle.join() {
+            Ok(b) => b,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (a, b)
+    })
+}
+
+/// Serializes tests that mutate the process-wide threading knobs, so
+/// save/restore pairs in concurrently running tests cannot interleave.
+#[cfg(test)]
+pub(crate) fn test_knob_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_is_overridable() {
+        let _guard = test_knob_guard();
+        let original = par_crossover();
+        set_par_crossover(123);
+        assert_eq!(par_crossover(), 123);
+        set_par_crossover(0);
+        assert!(plan_workers(0) >= 1, "crossover 0 forces the parallel gate open");
+        set_par_crossover(original);
+    }
+
+    #[test]
+    fn join2_runs_both_closures_in_both_modes() {
+        for parallel in [false, true] {
+            let (a, b) = join2(parallel, || 1 + 1, || "x".to_string() + "y");
+            assert_eq!((a, b.as_str()), (2, "xy"));
+        }
+    }
+}

@@ -401,11 +401,14 @@ impl RsCode {
             match sym {
                 Some(v) => {
                     xs.push(self.points[i]);
-                    rs.push(field.reduce(*v));
+                    rs.push(*v);
                 }
                 None => erasure_positions.push(i),
             }
         }
+        // One bulk Barrett pass over the surviving symbols instead of a
+        // reduction per symbol — bit-identical to `field.reduce` each.
+        field.reduce_slice(&mut rs);
         let e_prime = xs.len();
         if e_prime < degree_bound + 1 {
             return Err(DecodeError::TooFewSymbols { received: e_prime, needed: degree_bound + 1 });
@@ -477,9 +480,13 @@ impl RsCode {
         // otherwise).
         let reencoded = self.encode(field, &p);
         let mut error_positions = Vec::new();
+        // `rs` already holds the reduced survivors in received order, so
+        // the comparison needs no second reduction pass.
+        let mut reduced = rs.iter();
         for (i, sym) in received.iter().enumerate() {
-            if let Some(v) = sym {
-                if reencoded[i] != field.reduce(*v) {
+            if sym.is_some() {
+                let v = reduced.next().expect("one reduced symbol per surviving position");
+                if reencoded[i] != *v {
                     error_positions.push(i);
                 }
             }
